@@ -1,0 +1,19 @@
+"""§V-B1 — HTTP/2 adoption counts (NPN / ALPN / HEADERS), both experiments."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import adoption
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_adoption(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark, adoption.run, experiment=experiment, n_sites=BENCH_SITES, seed=BENCH_SEED
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    paper = result.data["paper"]
+    scaled = result.data["scaled"]
+    for key in ("npn", "alpn", "headers"):
+        assert scaled[key] == pytest.approx(paper[key], rel=0.15), key
+        benchmark.extra_info[f"{key}_scaled"] = round(scaled[key])

@@ -1,0 +1,24 @@
+"""§VI — DoS exposure study and defence validation (ablation bench)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import attacks_study
+
+
+def bench_attacks_study(benchmark, record_result):
+    result = run_once(benchmark, attacks_study.run)
+    record_result(result)
+    data = result.data
+    # Slow read: nearly the full response set is pinned; defence zeroes it.
+    slow = data["slow_read"]
+    assert slow["exposed_peak"] > 0.9 * slow["theoretical_max"]
+    assert slow["defended_peak"] == 0 and slow["defence_fired"]
+    # Table flood: encoder grows past the default bound; cap contains it.
+    flood = data["table_flood"]
+    assert flood["exposed_encoder"] > 2 * flood["decoder_limit"]
+    assert flood["defended_encoder"] <= flood["decoder_limit"] + 128
+    assert flood["decoder"] <= flood["decoder_limit"]
+    # Priority churn: bound caps the attacker-controlled state.
+    churn = data["priority_churn"]
+    assert churn["defended_tracked"] < churn["exposed_tracked"] / 2
+    benchmark.extra_info["slow_read_pinned"] = slow["exposed_peak"]
+    benchmark.extra_info["churn_tracked"] = churn["exposed_tracked"]

@@ -1,0 +1,19 @@
+"""§VI point 4 — static vs learned push manifests (extension bench)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import dynamic_push
+
+
+def bench_dynamic_push(benchmark, record_result):
+    result = run_once(benchmark, dynamic_push.run, visits=6)
+    record_result(result)
+    series = result.data["series"]
+    none = series["no push"]
+    static = series["static manifest"]
+    learned = series["learned manifest"]
+    # Static beats no-push; the learned policy starts cold and converges
+    # below the stale static manifest.
+    assert static[-1] < none[-1]
+    assert learned[0] >= static[0]
+    assert learned[-1] < static[-1]
+    benchmark.extra_info["converged_learned_plt"] = round(learned[-1], 3)

@@ -1,0 +1,16 @@
+"""Fig. 2 — CDF of SETTINGS_MAX_CONCURRENT_STREAMS (both experiments)."""
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import fig2
+
+
+def bench_fig2(benchmark, record_result):
+    result = run_once(benchmark, fig2.run, n_sites=BENCH_SITES, seed=BENCH_SEED)
+    record_result(result)
+    for exp in ("experiment one", "experiment two"):
+        stats = result.data[exp]
+        # Paper: "the majority of web sites use a value >= 100" and the
+        # popular values are 100 and 128.
+        assert stats["fraction_at_least_100"] > 0.8
+        assert {v for v, _ in stats["popular"]} == {100, 128}
+        benchmark.extra_info[exp.replace(" ", "_")] = stats["fraction_at_least_100"]

@@ -1,0 +1,21 @@
+"""Figs. 4-5 — HPACK compression ratio CDFs per server family."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import fig45
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_fig45(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark, fig45.run, experiment=experiment, n_sites=BENCH_SITES, seed=BENCH_SEED
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    checks = result.data["checks"]
+    # Paper's shape: GSE entirely below 0.3, Nginx pinned at ratio 1
+    # (93.5%), LiteSpeed ~80% below 0.3.
+    assert checks["gse_below_0.3"] == 1.0
+    assert checks["nginx_ratio_one"] == pytest.approx(0.935, abs=0.07)
+    assert checks["litespeed_below_0.3"] == pytest.approx(0.80, abs=0.12)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in checks.items()})

@@ -1,0 +1,17 @@
+"""Fig. 6 — RTT measured by ICMP, TCP, HTTP/1.1 and HTTP/2 PING."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark, record_result):
+    result = run_once(benchmark, fig6.run, sites_per_family=10, seed=11)
+    record_result(result)
+    medians = result.data["medians"]
+    # Paper's shape: PING ≈ TCP ≈ ICMP; HTTP/1.1 visibly longer.
+    assert medians["h2-ping"] == pytest.approx(medians["tcp-rtt"], rel=0.05)
+    assert medians["h2-ping"] == pytest.approx(medians["icmp"], rel=0.05)
+    assert medians["h2-request"] > medians["h2-ping"] * 1.1
+    benchmark.extra_info.update({k: round(v, 2) for k, v in medians.items()})

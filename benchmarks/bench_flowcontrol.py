@@ -1,0 +1,37 @@
+"""§V-D — the four flow-control scans at population scale."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import flowcontrol_scan
+from repro.population.distributions import experiment_data
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_flowcontrol(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark,
+        flowcontrol_scan.run,
+        experiment=experiment,
+        n_sites=BENCH_SITES,
+        seed=BENCH_SEED,
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    data = experiment_data(experiment)
+    responsive = result.data["responsive"]
+    # Fractions must track the paper's.
+    tiny = result.data["tiny"]
+    assert tiny["window_sized"] / responsive == pytest.approx(
+        data.tiny_window_sized / data.headers_sites, abs=0.08
+    )
+    assert result.data["zero_window_headers_ok"] / responsive == pytest.approx(
+        data.zero_window_headers_ok / data.headers_sites, abs=0.08
+    )
+    zero = result.data["zero_wu"]
+    assert zero["rst"] / responsive == pytest.approx(
+        data.zero_wu_rst / data.headers_sites, abs=0.08
+    )
+    large = result.data["large_wu"]
+    assert large["stream_rst"] / responsive == pytest.approx(
+        data.large_wu_stream_rst / data.headers_sites, abs=0.08
+    )

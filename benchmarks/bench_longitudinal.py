@@ -1,0 +1,21 @@
+"""Longitudinal change report (the paper's future-work dashboard)."""
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import longitudinal
+
+
+def bench_longitudinal(benchmark, record_result):
+    result = run_once(
+        benchmark, longitudinal.run, n_sites=BENCH_SITES, seed=BENCH_SEED
+    )
+    record_result(result)
+    first, second = result.data["first"], result.data["second"]
+    # Every direction of change the paper reports must hold.
+    assert second["npn"] > first["npn"]
+    assert second["headers"] > first["headers"]
+    assert second["nginx"] > 1.5 * first["nginx"]
+    assert second["tengine"] < first["tengine"]
+    assert second["tengine_aserver"] > 0 >= first["tengine_aserver"]
+    assert second["iws_zero"] > first["iws_zero"]
+    assert second["mfs_large"] > first["mfs_large"]
+    assert second["selfdep_rst_fraction"] > first["selfdep_rst_fraction"]

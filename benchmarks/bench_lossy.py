@@ -1,0 +1,18 @@
+"""§VI point 1 — single connection vs parallel connections under loss."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import lossy_ablation
+
+
+def bench_lossy_ablation(benchmark, record_result):
+    result = run_once(benchmark, lossy_ablation.run, repeats=3)
+    record_result(result)
+    points = result.data["points"]
+    clean, heaviest = points[0], points[-1]
+    # Clean path: the single multiplexed connection holds its own.
+    assert clean["advantage"] > 0.9
+    # Heavy loss: parallel connections pull ahead, as §VI predicts.
+    assert heaviest["advantage"] < clean["advantage"]
+    assert heaviest["h2"] > clean["h2"] * 2
+    benchmark.extra_info["clean_advantage"] = round(clean["advantage"], 2)
+    benchmark.extra_info["lossy_advantage"] = round(heaviest["advantage"], 2)

@@ -1,0 +1,103 @@
+"""Substrate microbenchmarks: HPACK, framing, priority, full scan.
+
+Not a paper artefact — these justify that the pure-Python substrate is
+fast enough for population-scale experiments and catch performance
+regressions in the hot paths.
+"""
+
+import random
+
+from repro.h2.frames import DataFrame, HeadersFrame, parse_frames, serialize_frame
+from repro.h2.hpack import huffman
+from repro.h2.hpack.decoder import Decoder
+from repro.h2.hpack.encoder import Encoder
+from repro.h2.priority import PriorityTree
+from repro.scope.scanner import scan_site
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site
+from repro.servers.website import testbed_website
+
+HEADERS = [
+    (b":status", b"200"),
+    (b"server", b"nginx/1.9.15"),
+    (b"date", b"Mon, 04 Jul 2016 12:00:00 GMT"),
+    (b"content-type", b"text/html; charset=utf-8"),
+    (b"content-length", b"48231"),
+    (b"cache-control", b"max-age=3600"),
+    (b"vary", b"accept-encoding"),
+    (b"x-frame-options", b"SAMEORIGIN"),
+]
+
+
+def bench_hpack_encode(benchmark):
+    encoder = Encoder()
+    benchmark(encoder.encode, HEADERS)
+
+
+def bench_hpack_decode(benchmark):
+    block = Encoder().encode(HEADERS)
+    decoder = Decoder()
+    benchmark(decoder.decode, block)
+
+
+def bench_huffman_encode(benchmark):
+    payload = b"Mon, 04 Jul 2016 12:00:00 GMT -- text/html; charset=utf-8"
+    benchmark(huffman.encode, payload)
+
+
+def bench_huffman_decode(benchmark):
+    payload = huffman.encode(b"Mon, 04 Jul 2016 12:00:00 GMT")
+    benchmark(huffman.decode, payload)
+
+
+def bench_frame_serialize(benchmark):
+    frame = DataFrame(stream_id=1, data=b"x" * 16_384)
+    benchmark(serialize_frame, frame)
+
+
+def bench_frame_parse(benchmark):
+    wire = b"".join(
+        serialize_frame(DataFrame(stream_id=1, data=b"x" * 1_024)) for _ in range(16)
+    )
+    benchmark(parse_frames, wire)
+
+
+def bench_priority_tree_operations(benchmark):
+    def build_and_reprioritize():
+        tree = PriorityTree()
+        for i in range(1, 64, 2):
+            tree.insert(i, depends_on=max(0, i - 4), weight=(i % 256) or 1)
+        for i in range(1, 64, 2):
+            tree.reprioritize(i, depends_on=0, weight=16, exclusive=i % 8 == 1)
+        return tree
+
+    benchmark(build_and_reprioritize)
+
+
+def bench_priority_allocation(benchmark):
+    tree = PriorityTree()
+    rng = random.Random(5)
+    ids = list(range(1, 100, 2))
+    for i in ids:
+        tree.insert(i, depends_on=rng.choice([0] + ids[: ids.index(i)] if ids.index(i) else [0]))
+    ready = set(ids[::3])
+    benchmark(tree.allocation, ready)
+
+
+def bench_full_site_scan(benchmark):
+    """One complete H2Scope scan (all seven probe groups) of one site."""
+
+    def scan():
+        site = Site(
+            domain="bench.test",
+            profile=ServerProfile(),
+            website=testbed_website(),
+        )
+        return scan_site(
+            site,
+            priority_test_paths=[f"/large/{i}.bin" for i in range(6)],
+            priority_depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
+        )
+
+    report = benchmark(scan)
+    assert report.errors == []

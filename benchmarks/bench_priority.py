@@ -1,0 +1,30 @@
+"""§V-E — Algorithm 1 and self-dependency at population scale."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import priority_scan
+from repro.population.distributions import experiment_data
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_priority_scan(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark,
+        priority_scan.run,
+        experiment=experiment,
+        n_sites=BENCH_SITES,
+        seed=BENCH_SEED,
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    data = experiment_data(experiment)
+    responsive = result.data["responsive"]
+    # The paper's headline: priority support is rare (a few percent by
+    # last DATA frame, an order of magnitude rarer by first).
+    assert result.data["by_last"] / responsive < 0.12
+    assert result.data["by_first"] <= result.data["by_last"]
+    assert result.data["selfdep_rst"] / responsive == pytest.approx(
+        data.selfdep_rst / data.headers_sites, abs=0.1
+    )
+    benchmark.extra_info["by_last"] = result.data["by_last"]
+    benchmark.extra_info["by_first"] = result.data["by_first"]

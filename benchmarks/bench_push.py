@@ -1,0 +1,21 @@
+"""§V-F — server push adoption at population scale."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import push_scan
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_push_scan(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark,
+        push_scan.run,
+        experiment=experiment,
+        n_sites=BENCH_SITES,
+        seed=BENCH_SEED,
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    # Paper: 6 pushing sites of 44,390 (exp 1), 15 of 64,299 (exp 2) —
+    # at bench scale the expected count is below one site either way.
+    assert result.data["pushing_sites"] <= 3

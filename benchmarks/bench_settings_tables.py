@@ -1,0 +1,34 @@
+"""Tables V, VI, VII — announced SETTINGS value distributions."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import settings_tables
+from repro.population.distributions import experiment_data
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_settings_tables(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark,
+        settings_tables.run,
+        experiment=experiment,
+        n_sites=BENCH_SITES,
+        seed=BENCH_SEED,
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    data = experiment_data(experiment)
+    scale = result.data["scale"]
+    # The dominant bucket of each table must land near the paper.
+    iws = result.data["iws"]
+    assert iws.get(65_536, 0) / scale == pytest.approx(
+        data.iws_counts[65_536], rel=0.25
+    )
+    mfs = result.data["mfs"]
+    assert mfs.get(16_384, 0) / scale == pytest.approx(
+        data.mfs_counts[16_384], rel=0.25
+    )
+    mhls = result.data["mhls"]
+    assert mhls.get("unlimited", 0) / scale == pytest.approx(
+        data.mhls_counts["unlimited"], rel=0.25
+    )

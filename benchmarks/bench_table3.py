@@ -1,0 +1,16 @@
+"""Table III — the six-vendor testbed feature matrix.
+
+Regenerates all 14 feature rows for Nginx, LiteSpeed, H2O, nghttpd,
+Tengine and Apache and diffs every cell against the published table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def bench_table3(benchmark, record_result):
+    result = run_once(benchmark, table3.run)
+    record_result(result)
+    assert result.data["mismatches"] == [], result.data["mismatches"]
+    benchmark.extra_info["cells"] = len(table3.ROWS) * len(table3.VENDORS)
+    benchmark.extra_info["mismatches"] = 0

@@ -1,0 +1,21 @@
+"""Table IV — server families used by more than 1,000 sites."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SITES, run_once
+from repro.experiments import table4
+
+
+@pytest.mark.parametrize("experiment", [1, 2])
+def bench_table4(benchmark, record_result, experiment):
+    result = run_once(
+        benchmark, table4.run, experiment=experiment, n_sites=BENCH_SITES, seed=BENCH_SEED
+    )
+    record_result(result, suffix=f"-exp{experiment}")
+    paper = result.data["paper"]
+    scaled = result.data["scaled"]
+    # The two dominant families must land near the paper's counts; the
+    # smaller ones are subject to sampling noise at bench scale.
+    for family in ("litespeed", "nginx"):
+        if paper.get(family, 0) > 5_000:
+            assert scaled.get(family, 0) == pytest.approx(paper[family], rel=0.3)

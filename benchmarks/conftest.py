@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it (visible with ``-s``) and archives the rendered text under
+``benchmarks/results/`` so a full run leaves the complete paper-vs-
+measured record on disk.
+
+Scale knobs (override via environment):
+
+* ``REPRO_BENCH_SITES``  — population size per experiment (default 400)
+* ``REPRO_BENCH_VISITS`` — Fig. 3 visits per site (default 30)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SITES = int(os.environ.get("REPRO_BENCH_SITES", "400"))
+BENCH_VISITS = int(os.environ.get("REPRO_BENCH_VISITS", "30"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and archive it under results/."""
+
+    def _record(result, suffix: str = "") -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.name}{suffix}.txt").write_text(result.text)
+        print()
+        print(result.text)
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiments are deterministic and slow)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

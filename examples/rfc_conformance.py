@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run the h2spec-style RFC 7540 conformance suite against all vendors.
+
+Table III is, at heart, a conformance report; this example produces the
+formalized version: per-RFC-section checks with MUST/SHOULD levels, one
+report per server model, and the headline finding — *no implementation
+is fully conformant* ("not all implementations strictly follow RFC
+7540").
+
+Run with::
+
+    python examples/rfc_conformance.py [vendor]
+"""
+
+import sys
+
+from repro.net.clock import Simulation
+from repro.net.transport import Network
+from repro.scope.conformance import Verdict, run_conformance
+from repro.servers.site import Site, deploy_site
+from repro.servers.vendors import VENDOR_FACTORIES
+from repro.servers.website import testbed_website
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(VENDOR_FACTORIES)
+    failures_by_vendor = {}
+    for name in names:
+        sim = Simulation()
+        network = Network(sim, seed=0)
+        site = Site(
+            domain=f"{name}.testbed",
+            profile=VENDOR_FACTORIES[name](),
+            website=testbed_website(),
+        )
+        deploy_site(network, site)
+        report = run_conformance(
+            network,
+            site.domain,
+            large_path="/large/0.bin",
+            multiplex_paths=[f"/large/{i}.bin" for i in range(3)],
+        )
+        print(report.summary())
+        failures_by_vendor[name] = sum(
+            1 for r in report.results if r.verdict is Verdict.FAIL
+        )
+
+    ranking = sorted(failures_by_vendor.items(), key=lambda kv: kv[1])
+    print("conformance ranking (fewest failed checks first):")
+    for name, failures in ranking:
+        print(f"  {name:10s} {failures} failed check(s)")
+
+
+if __name__ == "__main__":
+    main()

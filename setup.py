@@ -1,0 +1,9 @@
+"""Setup shim: configuration lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works on environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

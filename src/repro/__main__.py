@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias for the ``h2scope`` CLI."""
+
+from repro.scope.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

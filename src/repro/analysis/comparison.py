@@ -1,0 +1,62 @@
+"""Quantitative paper-vs-measured comparison helpers.
+
+The experiment runners print side-by-side tables; these helpers reduce
+a whole table to a single agreement number so tests and benchmarks can
+assert distributional fidelity instead of eyeballing rows:
+
+* :func:`total_variation_distance` — ½ Σ |p_i − q_i| over normalized
+  count dictionaries: 0 = identical distributions, 1 = disjoint.
+* :func:`relative_error` — signed relative difference of two scalars.
+* :func:`chi_square_statistic` — Pearson's χ² of measured counts
+  against paper-derived expectations (for sample-size-aware checks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def _normalize(counts: Mapping) -> dict:
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("cannot normalize an empty distribution")
+    return {key: value / total for key, value in counts.items()}
+
+
+def total_variation_distance(paper: Mapping, measured: Mapping) -> float:
+    """TV distance between two (unnormalized) count distributions."""
+    p = _normalize(paper)
+    q = _normalize(measured)
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def relative_error(paper: float, measured: float) -> float:
+    """(measured - paper) / paper; 0 when both are 0."""
+    if paper == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return (measured - paper) / paper
+
+
+def chi_square_statistic(paper: Mapping, measured: Mapping) -> float:
+    """Pearson χ² of measured counts vs paper-proportion expectations.
+
+    Buckets whose expected count is below 1 are pooled into a remainder
+    bucket (the standard small-expectation correction).
+    """
+    measured_total = sum(measured.values())
+    p = _normalize(paper)
+    statistic = 0.0
+    pooled_expected = 0.0
+    pooled_observed = 0.0
+    for key, fraction in p.items():
+        expected = fraction * measured_total
+        observed = measured.get(key, 0)
+        if expected < 1.0:
+            pooled_expected += expected
+            pooled_observed += observed
+            continue
+        statistic += (observed - expected) ** 2 / expected
+    if pooled_expected > 0:
+        statistic += (pooled_observed - pooled_expected) ** 2 / pooled_expected
+    return statistic

@@ -1,0 +1,37 @@
+"""ASCII table formatting for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out) + "\n"
+
+
+def scale_note(scale: float) -> str:
+    """Standard footnote for scaled population counts."""
+    return (
+        f"(population scale: 1 generated site ~= {1 / scale:,.1f} paper sites; "
+        "'scaled' columns extrapolate to the paper's population)"
+    )

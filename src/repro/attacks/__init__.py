@@ -1,0 +1,38 @@
+"""DoS attack studies from the paper's Discussion (Section VI).
+
+The paper repeatedly flags that HTTP/2's new features are exploitable:
+
+* **flow control** — "an adversary could launch DoS attacks like
+  malicious TCP receiver by setting SETTINGS_INITIAL_WINDOW_SIZE to a
+  small value so that the server cannot quickly send out the response
+  frames and release the corresponding memory" (§V-D1, §VI point 2);
+* **priority** — "malicious clients may exploit this mechanism to
+  launch algorithmic complexity attacks (e.g., force the server to
+  frequently reconstruct the dependency tree)" (§VI point 3);
+* **header compression** — "setting SETTINGS_HEADER_TABLE_SIZE ... to a
+  large value, and then using randomly-generated headers to fill up the
+  table" (§VI point 5).
+
+Each module here implements the attack against the simulated servers,
+measures the resource it pins, and evaluates the defence the paper
+proposes (window lower bounds; bounded priority state; table-size
+caps).  These are *studies of the documented attacks in a simulated
+environment* — the measurements quantify exposure and validate
+mitigations.
+"""
+
+from repro.attacks.slow_read import SlowReadReport, run_slow_read_attack
+from repro.attacks.table_flood import TableFloodReport, run_table_flood_attack
+from repro.attacks.priority_churn import (
+    PriorityChurnReport,
+    run_priority_churn_attack,
+)
+
+__all__ = [
+    "PriorityChurnReport",
+    "SlowReadReport",
+    "TableFloodReport",
+    "run_priority_churn_attack",
+    "run_slow_read_attack",
+    "run_table_flood_attack",
+]

@@ -1,0 +1,100 @@
+"""Priority-tree algorithmic-complexity attack (§VI point 3).
+
+The attacker floods PRIORITY frames that build deep dependency chains
+and then repeatedly relocate subtrees with exclusive moves — each move
+forces the server to restructure the tree, and an unbounded tree makes
+every scheduling decision walk an attacker-controlled structure.
+
+Defence: bound the tracked priority state (nghttp2's strategy; our
+:class:`~repro.h2.priority.PriorityTree` evicts the deepest leaf past
+``max_tracked_streams``).
+
+Measured quantities: tracked-node count, maximum tree depth, and the
+tree-mutation count the attacker forced per frame it sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import Resource, Website
+
+
+@dataclass
+class PriorityChurnReport:
+    frames_sent: int = 0
+    tracked_streams: int = 0
+    max_depth: int = 0
+    tree_operations: int = 0
+
+    @property
+    def operations_per_frame(self) -> float:
+        return self.tree_operations / self.frames_sent if self.frames_sent else 0.0
+
+
+def run_priority_churn_attack(
+    frames: int = 800,
+    max_tracked_streams: int = 1000,
+    seed: int = 0,
+) -> PriorityChurnReport:
+    """Send ``frames`` PRIORITY frames building and churning a deep chain."""
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    profile = ServerProfile(
+        scheduler_mode="strict",
+        max_tracked_priority_streams=max_tracked_streams,
+        processing_delay=0.001,
+        processing_jitter=0.0,
+    )
+    site = Site(
+        domain="churn.test",
+        profile=profile,
+        website=Website([Resource("/", 100, "text/html")]),
+        link=LinkProfile(rtt=0.005, bandwidth=100e6),
+    )
+    server = deploy_site(network, site)
+
+    attacker = ScopeClient(network, "churn.test")
+    report = PriorityChurnReport()
+    if not attacker.establish_h2():
+        return report
+
+    # Phase 1: a maximally deep chain of idle streams (PRIORITY frames
+    # may reference streams that never open — free state on the server).
+    chain = [2 * i + 1 for i in range(frames // 2)]
+    previous = 0
+    for sid in chain:
+        attacker.send_priority(sid, depends_on=previous, weight=256)
+        previous = sid
+        report.frames_sent += 1
+
+    # Phase 2: churn — relocate the deepest nodes to the root and back
+    # with exclusive moves, forcing restructures each time, until the
+    # frame budget is spent.
+    index = 0
+    while report.frames_sent < frames and chain:
+        sid = chain[-(1 + index % min(len(chain), frames // 4 or 1))]
+        attacker.send_priority(
+            sid, depends_on=0, weight=1, exclusive=index % 2 == 0
+        )
+        report.frames_sent += 1
+        index += 1
+
+    sim.run(until=sim.now + 5.0)
+
+    conn = server.connections[0].conn
+    if conn is not None:
+        tree = conn.priority_tree
+        report.tracked_streams = len(tree)
+        report.tree_operations = tree.operations
+        report.max_depth = max(
+            (tree.depth_of(sid) for sid in chain if sid in tree), default=0
+        )
+
+    attacker.close()
+    return report

@@ -1,0 +1,107 @@
+"""Slow-read flow-control DoS (§V-D1 / §VI point 2).
+
+The attacker announces a tiny SETTINGS_INITIAL_WINDOW_SIZE, requests
+large objects on many streams, and never grants window: the server
+generates every response and must buffer it all, pinned behind 1-octet
+windows.  The measured quantity is the server's buffered response bytes
+over the attack — the memory a real server cannot release.
+
+Defence (the paper's proposal): a lower bound on acceptable
+SETTINGS_INITIAL_WINDOW_SIZE; the server answers abusive announcements
+with GOAWAY(ENHANCE_YOUR_CALM) before committing memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.h2 import events as ev
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import Resource, Website
+
+
+@dataclass
+class SlowReadReport:
+    """Outcome of one slow-read run."""
+
+    streams: int = 0
+    object_size: int = 0
+    #: Response bytes the server held, sampled over the attack.
+    pinned_bytes_over_time: list[tuple[float, int]] = field(default_factory=list)
+    peak_pinned_bytes: int = 0
+    #: Whether the server tore the connection down (defence fired).
+    connection_refused: bool = False
+
+    @property
+    def theoretical_max(self) -> int:
+        return self.streams * self.object_size
+
+
+def _attack_website(object_size: int, objects: int) -> Website:
+    site = Website()
+    for i in range(objects):
+        site.add(Resource(f"/victim/{i}.bin", object_size, "application/octet-stream"))
+    site.add(Resource("/", 1_000, "text/html"))
+    return site
+
+
+def run_slow_read_attack(
+    streams: int = 32,
+    object_size: int = 200_000,
+    sframe: int = 1,
+    min_accepted_initial_window: int = 0,
+    duration: float = 10.0,
+    seed: int = 0,
+) -> SlowReadReport:
+    """Run the attack against a fresh server.
+
+    ``min_accepted_initial_window`` enables the defence; with the
+    default 0 the server behaves like every implementation the paper
+    measured (fully exposed).
+    """
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    profile = ServerProfile(
+        settings={3: max(128, streams + 8), 4: 65_536, 5: 16_384},
+        min_accepted_initial_window=min_accepted_initial_window,
+        processing_delay=0.002,
+        processing_jitter=0.0,
+    )
+    site = Site(
+        domain="victim.test",
+        profile=profile,
+        website=_attack_website(object_size, streams),
+        link=LinkProfile(rtt=0.03, bandwidth=50e6),
+    )
+    server = deploy_site(network, site)
+
+    report = SlowReadReport(streams=streams, object_size=object_size)
+    attacker = ScopeClient(
+        network,
+        "victim.test",
+        settings={4: sframe},  # SETTINGS_INITIAL_WINDOW_SIZE
+        auto_window_update=False,
+    )
+    if not attacker.establish_h2():
+        report.connection_refused = True
+        return report
+
+    for i in range(streams):
+        attacker.request(f"/victim/{i}.bin")
+
+    # Sample the pinned memory while the attacker stays silent.
+    step = duration / 20
+    for _ in range(20):
+        sim.run(until=sim.now + step)
+        pinned = server.pending_response_bytes
+        report.pinned_bytes_over_time.append((sim.now, pinned))
+        report.peak_pinned_bytes = max(report.peak_pinned_bytes, pinned)
+        if any(isinstance(te.event, ev.GoAwayReceived) for te in attacker.events):
+            report.connection_refused = True
+
+    attacker.close()
+    return report

@@ -1,0 +1,116 @@
+"""HPACK dynamic-table flooding (§VI point 5).
+
+Two memory surfaces exist per connection:
+
+* the server's **decoder** table, sized by the server's *own*
+  SETTINGS_HEADER_TABLE_SIZE — the paper observes every server keeps
+  the 4,096-octet default precisely because "large table size may
+  consume more system resource if an attacker keeps sending different
+  headers";
+* the server's **encoder** table, whose *limit* the attacker controls
+  by announcing a huge SETTINGS_HEADER_TABLE_SIZE: a server that
+  dutifully adopts the announcement and emits varied response headers
+  grows without bound.
+
+The attack floods both: random request headers against the decoder
+table, and varied responses (cookie-setting server) against the
+encoder table.  Defences: the default 4,096 decoder bound, and the
+:attr:`ServerProfile.max_peer_header_table_size` encoder cap (RFC 7541
+permits any size up to the peer's announcement).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.h2 import events as ev
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import Resource, Website
+
+
+@dataclass
+class TableFloodReport:
+    requests: int = 0
+    announced_table_size: int = 0
+    #: (time, decoder_bytes, encoder_bytes) samples on the server.
+    table_bytes_over_time: list[tuple[float, int, int]] = field(default_factory=list)
+    peak_decoder_bytes: int = 0
+    peak_encoder_bytes: int = 0
+    server_header_table_limit: int = 0
+
+
+def run_table_flood_attack(
+    requests: int = 60,
+    announced_table_size: int = 2**24,
+    server_table_size: int = 4_096,
+    max_peer_header_table_size: int | None = None,
+    seed: int = 0,
+) -> TableFloodReport:
+    """Flood a server's HPACK tables with high-entropy headers."""
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    rng = random.Random(seed)
+
+    profile = ServerProfile(
+        settings={1: server_table_size, 3: 256, 4: 65_536, 5: 16_384},
+        # The server varies its responses (a unique x-request-id each
+        # time, which unlike set-cookie *is* entered into the dynamic
+        # table) — the worst case for encoder-table growth.
+        response_header_noise=1.0,
+        max_peer_header_table_size=max_peer_header_table_size,
+        processing_delay=0.001,
+        processing_jitter=0.0,
+    )
+    website = Website([Resource("/", 500, "text/html")])
+    site = Site(
+        domain="flood.test",
+        profile=profile,
+        website=website,
+        link=LinkProfile(rtt=0.01, bandwidth=100e6),
+    )
+    server = deploy_site(network, site)
+
+    report = TableFloodReport(
+        requests=requests,
+        announced_table_size=announced_table_size,
+        server_header_table_limit=server_table_size,
+    )
+    attacker = ScopeClient(
+        network,
+        "flood.test",
+        settings={1: announced_table_size},  # SETTINGS_HEADER_TABLE_SIZE
+        auto_window_update=True,
+    )
+    if not attacker.establish_h2():
+        return report
+
+    for i in range(requests):
+        junk = [
+            (f"x-flood-{rng.getrandbits(48):012x}", f"{rng.getrandbits(256):064x}")
+            for _ in range(4)
+        ]
+        sid = attacker.request("/", extra_headers=junk)
+        attacker.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in attacker.events
+            ),
+            timeout=5,
+        )
+        conn = server.connections[0].conn
+        if conn is not None:
+            decoder_bytes = conn.decoder.table.size
+            encoder_bytes = conn.encoder.table.size
+            report.table_bytes_over_time.append(
+                (sim.now, decoder_bytes, encoder_bytes)
+            )
+            report.peak_decoder_bytes = max(report.peak_decoder_bytes, decoder_bytes)
+            report.peak_encoder_bytes = max(report.peak_encoder_bytes, encoder_bytes)
+
+    attacker.close()
+    return report

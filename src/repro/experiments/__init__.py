@@ -1,0 +1,27 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``text`` is a
+printable reproduction of the table/figure and whose ``data`` holds the
+raw numbers.  The benchmark harness under ``benchmarks/`` simply calls
+these runners and prints the text; they are equally usable from the
+examples and from a REPL.
+
+| Module                | Paper artefact                                  |
+|-----------------------|--------------------------------------------------|
+| ``table3``            | Table III (testbed feature matrix)               |
+| ``adoption``          | §V-B1 (NPN / ALPN / HEADERS counts)              |
+| ``table4``            | Table IV (server families > 1,000 sites)         |
+| ``settings_tables``   | Tables V, VI, VII (SETTINGS values)              |
+| ``fig2``              | Fig. 2 (MAX_CONCURRENT_STREAMS CDF)              |
+| ``flowcontrol_scan``  | §V-D (four flow-control scans)                   |
+| ``priority_scan``     | §V-E (Algorithm 1 + self-dependency at scale)    |
+| ``push_scan``         | §V-F (push adoption)                             |
+| ``fig3``              | Fig. 3 (page load time, push on/off)             |
+| ``fig45``             | Figs. 4-5 (HPACK ratio CDFs per server family)   |
+| ``fig6``              | Fig. 6 (RTT: h2-ping vs icmp vs tcp vs http/1.1) |
+"""
+
+from repro.experiments.common import ExperimentResult, population_scan
+
+__all__ = ["ExperimentResult", "population_scan"]

@@ -1,0 +1,65 @@
+"""Fig. 2 — CDF of SETTINGS_MAX_CONCURRENT_STREAMS.
+
+The paper reports 100 and 128 as the popular values, with the majority
+of sites at or above the RFC's suggested minimum of 100, plotted as a
+CDF on a log-scale x axis for both experiments.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import Cdf, render_cdf_ascii
+from repro.experiments.common import ExperimentResult, population_scan
+from repro.h2.constants import SettingCode
+from repro.population.distributions import experiment_data
+
+PROBES = frozenset({"negotiation", "settings"})
+MCS = int(SettingCode.MAX_CONCURRENT_STREAMS)
+
+
+def collect(experiment: int, n_sites: int, seed: int) -> list[float]:
+    _, reports, _ = population_scan(experiment, n_sites, seed, PROBES)
+    values = []
+    for report in reports:
+        if not report.settings.settings_frame_received:
+            continue
+        value = report.settings.announced.get(MCS)
+        if value is not None:
+            values.append(float(value))
+    return values
+
+
+def run(n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+    series = {
+        "experiment one": collect(1, n_sites, seed),
+        "experiment two": collect(2, n_sites, seed),
+    }
+    plot = render_cdf_ascii(
+        series,
+        x_label="maximum concurrent streams",
+        log_x=True,
+        x_min=1,
+        x_max=100_000,
+    )
+
+    lines = ["Fig. 2 — distribution of SETTINGS_MAX_CONCURRENT_STREAMS", plot]
+    data: dict = {"series": series}
+    for name, values in series.items():
+        if not values:
+            continue
+        cdf = Cdf(values)
+        at_least_100 = 1.0 - cdf.fraction_below(100)
+        popular = sorted(
+            {v: values.count(v) for v in set(values)}.items(),
+            key=lambda kv: -kv[1],
+        )[:2]
+        lines.append(
+            f"{name}: {at_least_100:.0%} of sites announce >= 100 "
+            f"(paper: 'the majority'); most popular values: "
+            + ", ".join(f"{int(v)} ({c} sites)" for v, c in popular)
+            + " (paper: 100 and 128)"
+        )
+        data[name] = {
+            "fraction_at_least_100": at_least_100,
+            "popular": popular,
+        }
+    return ExperimentResult(name="fig2", text="\n".join(lines) + "\n", data=data)

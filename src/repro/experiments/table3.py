@@ -1,0 +1,299 @@
+"""Table III — characterizing the six servers in the testbed.
+
+Installs each vendor profile on a testbed host with large objects
+(§III-A1's requirement) and runs the full probe suite, then renders the
+resulting feature matrix next to the paper's published cells.  The
+``mismatches`` entry in the result data lists any cell where the
+reproduction deviates from the paper; it should be empty.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.net.clock import Simulation
+from repro.net.transport import Network
+from repro.scope.probes import (
+    probe_hpack,
+    probe_large_window_update,
+    probe_multiplexing,
+    probe_negotiation,
+    probe_ping,
+    probe_priority,
+    probe_push,
+    probe_self_dependency,
+    probe_settings,
+    probe_tiny_window,
+    probe_zero_window_headers,
+    probe_zero_window_update,
+)
+from repro.scope.report import ErrorReaction, TinyWindowResult
+from repro.servers.site import Site, deploy_site
+from repro.servers.vendors import VENDOR_FACTORIES
+from repro.servers.website import testbed_website
+from repro.experiments.common import ExperimentResult
+
+VENDORS = ["nginx", "litespeed", "h2o", "nghttpd", "tengine", "apache"]
+
+ROWS = [
+    "ALPN",
+    "NPN",
+    "Request Multiplexing",
+    "Flow Control on DATA Frames",
+    "Flow Control on HEADERS Frames",
+    "Zero Window Update on stream",
+    "Zero Window Update on connection",
+    "Large Window Update (Connection)",
+    "Large Window Update (Stream)",
+    "Server Push",
+    "Priority Mechanism Testing (Algorithm 1)",
+    "Self-dependent Stream",
+    "Header Compression",
+    "HTTP/2 PING",
+]
+
+#: Table III as published (cells transcribed verbatim).
+PAPER_TABLE3: dict[str, dict[str, str]] = {
+    "ALPN": dict.fromkeys(VENDORS, "support"),
+    "NPN": {**dict.fromkeys(VENDORS, "support"), "apache": "no support"},
+    "Request Multiplexing": dict.fromkeys(VENDORS, "support"),
+    "Flow Control on DATA Frames": dict.fromkeys(VENDORS, "yes"),
+    "Flow Control on HEADERS Frames": {
+        **dict.fromkeys(VENDORS, "no"),
+        "litespeed": "yes",
+    },
+    "Zero Window Update on stream": {
+        "nginx": "ignore",
+        "litespeed": "RST_STREAM",
+        "h2o": "RST_STREAM",
+        "nghttpd": "GOAWAY",
+        "tengine": "ignore",
+        "apache": "GOAWAY",
+    },
+    "Zero Window Update on connection": {
+        "nginx": "ignore",
+        "litespeed": "GOAWAY",
+        "h2o": "GOAWAY",
+        "nghttpd": "GOAWAY",
+        "tengine": "ignore",
+        "apache": "GOAWAY",
+    },
+    "Large Window Update (Connection)": dict.fromkeys(VENDORS, "GOAWAY"),
+    "Large Window Update (Stream)": dict.fromkeys(VENDORS, "RST_STREAM"),
+    "Server Push": {
+        "nginx": "no",
+        "litespeed": "no",
+        "h2o": "yes",
+        "nghttpd": "yes",
+        "tengine": "no",
+        "apache": "yes",
+    },
+    "Priority Mechanism Testing (Algorithm 1)": {
+        "nginx": "fail",
+        "litespeed": "fail",
+        "h2o": "pass",
+        "nghttpd": "pass",
+        "tengine": "fail",
+        "apache": "pass",
+    },
+    "Self-dependent Stream": {
+        "nginx": "RST_STREAM",
+        "litespeed": "ignore",
+        "h2o": "GOAWAY",
+        "nghttpd": "GOAWAY",
+        "tengine": "RST_STREAM",
+        "apache": "GOAWAY",
+    },
+    "Header Compression": {
+        "nginx": "support*",
+        "litespeed": "support",
+        "h2o": "support",
+        "nghttpd": "support",
+        "tengine": "support*",
+        "apache": "support",
+    },
+    "HTTP/2 PING": dict.fromkeys(VENDORS, "support"),
+}
+
+#: Table III's final column: what RFC 7540 itself specifies per row.
+RFC_COLUMN: dict[str, str] = {
+    "ALPN": "support",
+    "NPN": "does not require",
+    "Request Multiplexing": "support",
+    "Flow Control on DATA Frames": "yes",
+    "Flow Control on HEADERS Frames": "no",
+    "Zero Window Update on stream": "RST_STREAM",
+    "Zero Window Update on connection": "GOAWAY",
+    "Large Window Update (Connection)": "GOAWAY",
+    "Large Window Update (Stream)": "RST_STREAM",
+    "Server Push": "yes",
+    "Priority Mechanism Testing (Algorithm 1)": "pass",
+    "Self-dependent Stream": "RST_STREAM",
+    "Header Compression": "support",
+    "HTTP/2 PING": "support",
+}
+
+#: Rows where the RFC mandates a behaviour (used for conformance
+#: scoring; "does not require" rows are excluded).
+RFC_SCORED_ROWS = [row for row, spec in RFC_COLUMN.items() if spec != "does not require"]
+
+
+def conformance_score(cells: dict[str, str]) -> tuple[int, int]:
+    """(compliant rows, scored rows) against the RFC column.
+
+    ``support*`` (partial header compression) counts as non-compliant:
+    the implementation works but defeats the feature's purpose, which
+    is the paper's reading too.
+    """
+    compliant = sum(
+        1 for row in RFC_SCORED_ROWS if cells.get(row) == RFC_COLUMN[row]
+    )
+    return compliant, len(RFC_SCORED_ROWS)
+
+
+#: Sframe used for the DATA-frame flow-control check.  Larger than
+#: LiteSpeed's HEADERS-hold threshold so every vendor responds (the
+#: population experiment separately probes Sframe=1, §V-D1).
+TESTBED_SFRAME = 64
+
+
+def characterize_vendor(vendor: str, seed: int = 0) -> dict[str, str]:
+    """Run every Table III probe against one vendor's testbed deployment."""
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    site = Site(
+        domain=f"{vendor}.testbed",
+        profile=VENDOR_FACTORIES[vendor](),
+        website=testbed_website(),
+    )
+    deploy_site(network, site)
+    domain = site.domain
+    cells: dict[str, str] = {}
+
+    negotiation = probe_negotiation(network, domain)
+    cells["ALPN"] = "support" if negotiation.alpn_h2 else "no support"
+    cells["NPN"] = "support" if negotiation.npn_h2 else "no support"
+
+    multiplexing = probe_multiplexing(
+        network, domain, [f"/large/{i}.bin" for i in range(4)]
+    )
+    cells["Request Multiplexing"] = (
+        "support" if multiplexing.interleaved else "no support"
+    )
+
+    tiny, first_size, _ = probe_tiny_window(
+        network, domain, sframe=TESTBED_SFRAME, path="/large/1.bin"
+    )
+    cells["Flow Control on DATA Frames"] = (
+        "yes"
+        if tiny is TinyWindowResult.WINDOW_SIZED_DATA and first_size == TESTBED_SFRAME
+        else "no"
+    )
+
+    headers_ok = probe_zero_window_headers(network, domain, path="/large/2.bin")
+    cells["Flow Control on HEADERS Frames"] = "no" if headers_ok else "yes"
+
+    reaction, _ = probe_zero_window_update(
+        network, domain, level="stream", path="/large/3.bin"
+    )
+    cells["Zero Window Update on stream"] = _reaction_cell(reaction)
+    reaction, _ = probe_zero_window_update(
+        network, domain, level="connection", path="/large/3.bin"
+    )
+    cells["Zero Window Update on connection"] = _reaction_cell(reaction)
+
+    reaction = probe_large_window_update(
+        network, domain, level="connection", path="/large/4.bin"
+    )
+    cells["Large Window Update (Connection)"] = _reaction_cell(reaction)
+    reaction = probe_large_window_update(
+        network, domain, level="stream", path="/large/4.bin"
+    )
+    cells["Large Window Update (Stream)"] = _reaction_cell(reaction)
+
+    push = probe_push(network, domain)
+    cells["Server Push"] = "yes" if push.push_received else "no"
+
+    priority = probe_priority(
+        network,
+        domain,
+        test_paths=[f"/large/{i}.bin" for i in range(6)],
+        depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
+    )
+    cells["Priority Mechanism Testing (Algorithm 1)"] = (
+        "pass" if priority.passes_algorithm1 else "fail"
+    )
+
+    selfdep = probe_self_dependency(network, domain, path="/large/5.bin")
+    cells["Self-dependent Stream"] = _reaction_cell(selfdep)
+
+    hpack = probe_hpack(network, domain, path="/")
+    if hpack.ratio is None:
+        cells["Header Compression"] = "no support"
+    elif hpack.ratio >= 0.95:
+        cells["Header Compression"] = "support*"
+    else:
+        cells["Header Compression"] = "support"
+
+    ping = probe_ping(network, domain, samples=1)
+    cells["HTTP/2 PING"] = "support" if ping.ping_supported else "no support"
+    return cells
+
+
+def _reaction_cell(reaction: ErrorReaction | None) -> str:
+    if reaction is None:
+        return "no response"
+    return {
+        ErrorReaction.RST_STREAM: "RST_STREAM",
+        ErrorReaction.GOAWAY: "GOAWAY",
+        ErrorReaction.IGNORE: "ignore",
+        ErrorReaction.NO_RESPONSE: "no response",
+    }[reaction]
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    """Reproduce Table III and diff it against the paper."""
+    measured = {vendor: characterize_vendor(vendor, seed=seed) for vendor in VENDORS}
+
+    rows = []
+    mismatches: list[tuple[str, str, str, str]] = []
+    for row in ROWS:
+        cells = []
+        for vendor in VENDORS:
+            got = measured[vendor][row]
+            expected = PAPER_TABLE3[row][vendor]
+            if got != expected:
+                mismatches.append((row, vendor, expected, got))
+                cells.append(f"{got} (!= {expected})")
+            else:
+                cells.append(got)
+        rows.append([row] + cells + [RFC_COLUMN[row]])
+
+    scores = {vendor: conformance_score(measured[vendor]) for vendor in VENDORS}
+    rows.append(
+        ["RFC 7540 conformance (scored rows)"]
+        + [f"{scores[v][0]}/{scores[v][1]}" for v in VENDORS]
+        + ["—"]
+    )
+
+    text = format_table(
+        ["Feature"] + [v.capitalize() for v in VENDORS] + ["RFC 7540"],
+        rows,
+        title="Table III — characterizing popular HTTP/2 web servers (testbed)",
+    )
+    if mismatches:
+        text += f"\nMISMATCHES vs paper: {mismatches}\n"
+    else:
+        text += (
+            "\nAll cells match the paper's Table III.  No implementation is "
+            "fully RFC-conformant — the paper's headline: 'not all "
+            "implementations strictly follow RFC 7540'.\n"
+        )
+    return ExperimentResult(
+        name="table3",
+        text=text,
+        data={
+            "measured": measured,
+            "mismatches": mismatches,
+            "conformance": scores,
+        },
+    )

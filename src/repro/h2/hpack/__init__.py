@@ -1,0 +1,30 @@
+"""HPACK — HTTP/2 header compression (RFC 7541), implemented from scratch.
+
+Layout:
+
+* :mod:`repro.h2.hpack.integer` — the N-bit-prefix integer codec (§5.1);
+* :mod:`repro.h2.hpack.huffman` / ``huffman_table`` — the static Huffman
+  code of Appendix B, encoder and canonical-tree decoder (§5.2);
+* :mod:`repro.h2.hpack.static_table` — the 61-entry static table
+  (Appendix A);
+* :mod:`repro.h2.hpack.table` — the dynamic table with size-based
+  eviction (§4);
+* :mod:`repro.h2.hpack.encoder` / ``decoder`` — header-block
+  serialization and parsing (§6), including the indexing policies the
+  paper's servers differ on (e.g. Nginx never indexes response headers,
+  which is what produces its compression ratio of ~1 in Figs. 4–5).
+"""
+
+from repro.h2.hpack.encoder import Encoder, IndexingPolicy
+from repro.h2.hpack.decoder import Decoder
+from repro.h2.hpack.table import DynamicTable, HeaderField
+from repro.h2.hpack.static_table import STATIC_TABLE
+
+__all__ = [
+    "Decoder",
+    "DynamicTable",
+    "Encoder",
+    "HeaderField",
+    "IndexingPolicy",
+    "STATIC_TABLE",
+]

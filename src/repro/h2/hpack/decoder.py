@@ -1,0 +1,134 @@
+"""HPACK header-block decoder (RFC 7541 §3, §6).
+
+Decoding errors are always connection-fatal
+(:class:`~repro.h2.errors.HpackDecodingError` → COMPRESSION_ERROR)
+because a failed decode desynchronizes the two endpoints' dynamic
+tables.
+"""
+
+from __future__ import annotations
+
+from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack import huffman
+from repro.h2.hpack.integer import decode_integer
+from repro.h2.hpack.static_table import STATIC_TABLE, STATIC_TABLE_LENGTH
+from repro.h2.hpack.table import DynamicTable, HeaderField
+
+
+class Decoder:
+    """One endpoint's HPACK decoding context."""
+
+    def __init__(
+        self,
+        max_header_table_size: int = 4096,
+        max_header_list_size: int | None = None,
+    ):
+        self.table = DynamicTable(max_header_table_size)
+        #: The ceiling the *decoder* allows for table-size updates; this
+        #: is the value this endpoint advertised in
+        #: SETTINGS_HEADER_TABLE_SIZE.
+        self.max_allowed_table_size = max_header_table_size
+        self.max_header_list_size = max_header_list_size
+
+    def decode(self, data: bytes) -> list[tuple[bytes, bytes]]:
+        """Decode one complete header block into (name, value) pairs."""
+        headers: list[tuple[bytes, bytes]] = []
+        list_size = 0
+        offset = 0
+        seen_field = False
+        while offset < len(data):
+            octet = data[offset]
+            if octet & 0x80:
+                field, offset = self._decode_indexed(data, offset)
+            elif octet & 0x40:
+                field, offset = self._decode_literal(data, offset, 6, index=True)
+            elif octet & 0x20:
+                if seen_field:
+                    raise HpackDecodingError(
+                        "dynamic table size update after header field"
+                    )
+                offset = self._decode_size_update(data, offset)
+                continue
+            else:
+                # 0x10 (never indexed) and 0x00 (without indexing) share
+                # the 4-bit prefix layout.
+                field, offset = self._decode_literal(data, offset, 4, index=False)
+            seen_field = True
+            list_size += field.size
+            if (
+                self.max_header_list_size is not None
+                and list_size > self.max_header_list_size
+            ):
+                raise HpackDecodingError(
+                    f"header list exceeds limit of {self.max_header_list_size}"
+                )
+            headers.append((field.name, field.value))
+        return headers
+
+    # -- representations ------------------------------------------------
+
+    def _decode_indexed(self, data: bytes, offset: int) -> tuple[HeaderField, int]:
+        index, offset = decode_integer(data, offset, 7)
+        return self._lookup(index), offset
+
+    def _decode_literal(
+        self, data: bytes, offset: int, prefix_bits: int, index: bool
+    ) -> tuple[HeaderField, int]:
+        name_index, offset = decode_integer(data, offset, prefix_bits)
+        if name_index:
+            name = self._lookup(name_index).name
+        else:
+            name, offset = self._decode_string(data, offset)
+        value, offset = self._decode_string(data, offset)
+        field = HeaderField(name, value)
+        if index:
+            self.table.add(field)
+        return field, offset
+
+    def _decode_size_update(self, data: bytes, offset: int) -> int:
+        new_size, offset = decode_integer(data, offset, 5)
+        if new_size > self.max_allowed_table_size:
+            raise HpackDecodingError(
+                f"table size update {new_size} exceeds allowed "
+                f"{self.max_allowed_table_size}"
+            )
+        self.table.resize(new_size)
+        return offset
+
+    def _decode_string(self, data: bytes, offset: int) -> tuple[bytes, int]:
+        if offset >= len(data):
+            raise HpackDecodingError("truncated string: missing length")
+        huffman_encoded = bool(data[offset] & 0x80)
+        length, offset = decode_integer(data, offset, 7)
+        end = offset + length
+        if end > len(data):
+            raise HpackDecodingError("truncated string: body shorter than length")
+        raw = data[offset:end]
+        if huffman_encoded:
+            raw = huffman.decode(raw)
+        return raw, end
+
+    # -- table addressing -------------------------------------------------
+
+    def _lookup(self, index: int) -> HeaderField:
+        """Resolve a 1-based wire index to a header field."""
+        if index <= 0:
+            raise HpackDecodingError("index 0 is not a valid header field index")
+        if index <= STATIC_TABLE_LENGTH:
+            return STATIC_TABLE[index - 1]
+        dyn_index = index - STATIC_TABLE_LENGTH - 1
+        if dyn_index >= len(self.table):
+            raise HpackDecodingError(f"index {index} beyond dynamic table")
+        return self.table.get(dyn_index)
+
+    # -- settings hooks ---------------------------------------------------
+
+    def set_max_allowed_table_size(self, size: int) -> None:
+        """Apply a new SETTINGS_HEADER_TABLE_SIZE advertised by us.
+
+        Shrinking takes effect immediately (the peer must also emit a
+        size update, but we must never exceed our own advertisement).
+        """
+        self.max_allowed_table_size = size
+        if self.table.max_size > size:
+            self.table.resize(size)

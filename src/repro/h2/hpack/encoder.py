@@ -1,0 +1,168 @@
+"""HPACK header-block encoder (RFC 7541 §6).
+
+The encoder supports the three literal representations plus indexed
+fields and dynamic-table size updates.  Its *indexing policy* is
+configurable because the paper's measurements hinge on exactly this
+degree of freedom: Nginx and Tengine do not insert **response** header
+fields into the dynamic table (Section V-G), so every response header
+block has the same size and their compression ratio ``r`` is ~1, while
+GSE/LiteSpeed index aggressively and reach ``r`` < 0.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+from repro.h2.errors import HpackEncodingError
+from repro.h2.hpack import huffman
+from repro.h2.hpack.integer import encode_integer
+from repro.h2.hpack.static_table import (
+    STATIC_FIELD_INDEX,
+    STATIC_NAME_INDEX,
+    STATIC_TABLE_LENGTH,
+)
+from repro.h2.hpack.table import DynamicTable, HeaderField
+
+HeaderLike = tuple[bytes | str, bytes | str]
+
+
+class IndexingPolicy(enum.Enum):
+    """How literal header fields are represented on the wire."""
+
+    #: Literal with incremental indexing (§6.2.1): grows the dynamic table.
+    INDEX = "index"
+    #: Literal without indexing (§6.2.2): dynamic table untouched.
+    NO_INDEX = "no-index"
+    #: Literal never indexed (§6.2.3): also forbids downstream re-indexing.
+    NEVER_INDEX = "never-index"
+
+
+#: Header names that a careful encoder refuses to index (§7.1.3 advice).
+SENSITIVE_NAMES = frozenset({b"authorization", b"proxy-authorization", b"set-cookie"})
+
+
+def _to_bytes(value: bytes | str) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return value
+
+
+def normalize_headers(headers: Iterable[HeaderLike]) -> list[tuple[bytes, bytes]]:
+    """Coerce str/bytes header pairs into lowercase-name byte pairs."""
+    out = []
+    for name, value in headers:
+        out.append((_to_bytes(name).lower(), _to_bytes(value)))
+    return out
+
+
+class Encoder:
+    """One endpoint's HPACK encoding context."""
+
+    def __init__(
+        self,
+        header_table_size: int = 4096,
+        use_huffman: bool = True,
+        default_policy: IndexingPolicy = IndexingPolicy.INDEX,
+    ):
+        self.table = DynamicTable(header_table_size)
+        self.use_huffman = use_huffman
+        self.default_policy = default_policy
+        #: Pending dynamic-table size updates to emit at the start of
+        #: the next header block (RFC 7541 §4.2).
+        self._pending_size_updates: list[int] = []
+
+    @property
+    def header_table_size(self) -> int:
+        return self.table.max_size
+
+    @header_table_size.setter
+    def header_table_size(self, new_size: int) -> None:
+        if new_size != self.table.max_size:
+            self.table.resize(new_size)
+            self._pending_size_updates.append(new_size)
+
+    def encode(
+        self,
+        headers: Sequence[HeaderLike],
+        policy: IndexingPolicy | None = None,
+    ) -> bytes:
+        """Serialize ``headers`` into one header block fragment."""
+        policy = policy or self.default_policy
+        out = bytearray()
+        for new_size in self._pending_size_updates:
+            out.extend(self._encode_size_update(new_size))
+        self._pending_size_updates.clear()
+
+        for name, value in normalize_headers(headers):
+            field_policy = policy
+            if name in SENSITIVE_NAMES and policy is IndexingPolicy.INDEX:
+                field_policy = IndexingPolicy.NEVER_INDEX
+            out.extend(self._encode_field(name, value, field_policy))
+        return bytes(out)
+
+    # -- representations ------------------------------------------------
+
+    def _encode_field(
+        self, name: bytes, value: bytes, policy: IndexingPolicy
+    ) -> bytearray:
+        full_index = self._find_full(name, value)
+        if full_index is not None:
+            # Indexed Header Field (§6.1): single integer, 1-prefix.
+            encoded = encode_integer(full_index, 7)
+            encoded[0] |= 0x80
+            return encoded
+
+        name_index = self._find_name(name)
+        if policy is IndexingPolicy.INDEX:
+            prefix_bits, pattern = 6, 0x40
+            self.table.add(HeaderField(name, value))
+        elif policy is IndexingPolicy.NO_INDEX:
+            prefix_bits, pattern = 4, 0x00
+        elif policy is IndexingPolicy.NEVER_INDEX:
+            prefix_bits, pattern = 4, 0x10
+        else:  # pragma: no cover - exhaustive enum
+            raise HpackEncodingError(f"unknown indexing policy {policy!r}")
+
+        encoded = encode_integer(name_index or 0, prefix_bits)
+        encoded[0] |= pattern
+        if not name_index:
+            encoded.extend(self._encode_string(name))
+        encoded.extend(self._encode_string(value))
+        return encoded
+
+    def _encode_size_update(self, new_size: int) -> bytearray:
+        encoded = encode_integer(new_size, 5)
+        encoded[0] |= 0x20
+        return encoded
+
+    def _encode_string(self, data: bytes) -> bytearray:
+        if self.use_huffman and huffman.encoded_length(data) < len(data):
+            body = huffman.encode(data)
+            header = encode_integer(len(body), 7)
+            header[0] |= 0x80
+        else:
+            body = data
+            header = encode_integer(len(body), 7)
+        header.extend(body)
+        return header
+
+    # -- table search ---------------------------------------------------
+
+    def _find_full(self, name: bytes, value: bytes) -> int | None:
+        static = STATIC_FIELD_INDEX.get((name, value))
+        if static is not None:
+            return static
+        dyn_full, _ = self.table.find(name, value)
+        if dyn_full is not None:
+            return STATIC_TABLE_LENGTH + 1 + dyn_full
+        return None
+
+    def _find_name(self, name: bytes) -> int | None:
+        static = STATIC_NAME_INDEX.get(name)
+        if static is not None:
+            return static
+        _, dyn_name = self.table.find(name, b"")
+        if dyn_name is not None:
+            return STATIC_TABLE_LENGTH + 1 + dyn_name
+        return None

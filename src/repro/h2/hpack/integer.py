@@ -1,0 +1,72 @@
+"""HPACK prefix-integer codec (RFC 7541 §5.1).
+
+Integers are encoded into the low ``prefix_bits`` bits of the first
+octet; values that do not fit continue in subsequent octets, seven bits
+at a time, least-significant group first, with the top bit of each
+continuation octet acting as a "more follows" marker.
+"""
+
+from __future__ import annotations
+
+from repro.h2.errors import HpackDecodingError
+
+#: Hard cap on decoded integers: protects against maliciously long
+#: continuation sequences.  2**62 comfortably exceeds any legal HPACK
+#: value (table indices, string lengths, table sizes).
+_MAX_INTEGER = 2**62
+
+
+def encode_integer(value: int, prefix_bits: int) -> bytearray:
+    """Encode ``value`` using an N-bit prefix.
+
+    The caller is responsible for OR-ing any flag bits into the first
+    returned octet (its high ``8 - prefix_bits`` bits are zero).
+    """
+    if not 1 <= prefix_bits <= 8:
+        raise ValueError(f"prefix_bits must be in [1, 8], got {prefix_bits}")
+    if value < 0:
+        raise ValueError(f"cannot encode negative integer {value}")
+
+    max_prefix = (1 << prefix_bits) - 1
+    if value < max_prefix:
+        return bytearray([value])
+
+    out = bytearray([max_prefix])
+    value -= max_prefix
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return out
+
+
+def decode_integer(data: bytes, offset: int, prefix_bits: int) -> tuple[int, int]:
+    """Decode an integer starting at ``data[offset]``.
+
+    Returns ``(value, new_offset)``.  Raises
+    :class:`~repro.h2.errors.HpackDecodingError` on truncated input or
+    absurdly large values.
+    """
+    if not 1 <= prefix_bits <= 8:
+        raise ValueError(f"prefix_bits must be in [1, 8], got {prefix_bits}")
+    if offset >= len(data):
+        raise HpackDecodingError("truncated integer: no prefix octet")
+
+    max_prefix = (1 << prefix_bits) - 1
+    value = data[offset] & max_prefix
+    offset += 1
+    if value < max_prefix:
+        return value, offset
+
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise HpackDecodingError("truncated integer: missing continuation")
+        octet = data[offset]
+        offset += 1
+        value += (octet & 0x7F) << shift
+        shift += 7
+        if value > _MAX_INTEGER:
+            raise HpackDecodingError(f"integer overflow while decoding ({value})")
+        if not octet & 0x80:
+            return value, offset

@@ -1,0 +1,84 @@
+"""The HPACK static table (RFC 7541 Appendix A).
+
+Sixty-one predefined header fields shared by every HPACK context.
+Indices are 1-based on the wire; ``STATIC_TABLE[i - 1]`` is entry *i*.
+"""
+
+from __future__ import annotations
+
+from repro.h2.hpack.table import HeaderField
+
+STATIC_TABLE: tuple[HeaderField, ...] = (
+    HeaderField(b":authority", b""),  # 1
+    HeaderField(b":method", b"GET"),  # 2
+    HeaderField(b":method", b"POST"),  # 3
+    HeaderField(b":path", b"/"),  # 4
+    HeaderField(b":path", b"/index.html"),  # 5
+    HeaderField(b":scheme", b"http"),  # 6
+    HeaderField(b":scheme", b"https"),  # 7
+    HeaderField(b":status", b"200"),  # 8
+    HeaderField(b":status", b"204"),  # 9
+    HeaderField(b":status", b"206"),  # 10
+    HeaderField(b":status", b"304"),  # 11
+    HeaderField(b":status", b"400"),  # 12
+    HeaderField(b":status", b"404"),  # 13
+    HeaderField(b":status", b"500"),  # 14
+    HeaderField(b"accept-charset", b""),  # 15
+    HeaderField(b"accept-encoding", b"gzip, deflate"),  # 16
+    HeaderField(b"accept-language", b""),  # 17
+    HeaderField(b"accept-ranges", b""),  # 18
+    HeaderField(b"accept", b""),  # 19
+    HeaderField(b"access-control-allow-origin", b""),  # 20
+    HeaderField(b"age", b""),  # 21
+    HeaderField(b"allow", b""),  # 22
+    HeaderField(b"authorization", b""),  # 23
+    HeaderField(b"cache-control", b""),  # 24
+    HeaderField(b"content-disposition", b""),  # 25
+    HeaderField(b"content-encoding", b""),  # 26
+    HeaderField(b"content-language", b""),  # 27
+    HeaderField(b"content-length", b""),  # 28
+    HeaderField(b"content-location", b""),  # 29
+    HeaderField(b"content-range", b""),  # 30
+    HeaderField(b"content-type", b""),  # 31
+    HeaderField(b"cookie", b""),  # 32
+    HeaderField(b"date", b""),  # 33
+    HeaderField(b"etag", b""),  # 34
+    HeaderField(b"expect", b""),  # 35
+    HeaderField(b"expires", b""),  # 36
+    HeaderField(b"from", b""),  # 37
+    HeaderField(b"host", b""),  # 38
+    HeaderField(b"if-match", b""),  # 39
+    HeaderField(b"if-modified-since", b""),  # 40
+    HeaderField(b"if-none-match", b""),  # 41
+    HeaderField(b"if-range", b""),  # 42
+    HeaderField(b"if-unmodified-since", b""),  # 43
+    HeaderField(b"last-modified", b""),  # 44
+    HeaderField(b"link", b""),  # 45
+    HeaderField(b"location", b""),  # 46
+    HeaderField(b"max-forwards", b""),  # 47
+    HeaderField(b"proxy-authenticate", b""),  # 48
+    HeaderField(b"proxy-authorization", b""),  # 49
+    HeaderField(b"range", b""),  # 50
+    HeaderField(b"referer", b""),  # 51
+    HeaderField(b"refresh", b""),  # 52
+    HeaderField(b"retry-after", b""),  # 53
+    HeaderField(b"server", b""),  # 54
+    HeaderField(b"set-cookie", b""),  # 55
+    HeaderField(b"strict-transport-security", b""),  # 56
+    HeaderField(b"transfer-encoding", b""),  # 57
+    HeaderField(b"user-agent", b""),  # 58
+    HeaderField(b"vary", b""),  # 59
+    HeaderField(b"via", b""),  # 60
+    HeaderField(b"www-authenticate", b""),  # 61
+)
+
+STATIC_TABLE_LENGTH = len(STATIC_TABLE)
+
+#: name -> first static index with that name (for name-only references).
+STATIC_NAME_INDEX: dict[bytes, int] = {}
+#: (name, value) -> static index (for full matches).
+STATIC_FIELD_INDEX: dict[tuple[bytes, bytes], int] = {}
+
+for _i, _field in enumerate(STATIC_TABLE, start=1):
+    STATIC_NAME_INDEX.setdefault(_field.name, _i)
+    STATIC_FIELD_INDEX.setdefault((_field.name, _field.value), _i)

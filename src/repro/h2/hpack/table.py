@@ -1,0 +1,104 @@
+"""HPACK dynamic table (RFC 7541 §2.3.2, §4).
+
+The dynamic table is a FIFO of header fields addressed — on the wire —
+after the static table: index ``STATIC_TABLE_LENGTH + 1`` is the most
+recently inserted entry.  Each entry costs ``len(name) + len(value) +
+32`` octets against the table's maximum size; insertions evict from the
+oldest end until the new entry fits (an entry larger than the whole
+table empties it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+#: Per-entry overhead charged by RFC 7541 §4.1.
+ENTRY_OVERHEAD = 32
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """An immutable (name, value) pair as stored in HPACK tables."""
+
+    name: bytes
+    value: bytes
+
+    @property
+    def size(self) -> int:
+        """The entry's size as defined by RFC 7541 §4.1."""
+        return len(self.name) + len(self.value) + ENTRY_OVERHEAD
+
+
+class DynamicTable:
+    """One endpoint's HPACK dynamic table.
+
+    ``max_size`` is the *current* limit (set via dynamic table size
+    updates or SETTINGS_HEADER_TABLE_SIZE); ``entries[0]`` is the most
+    recently added field.
+    """
+
+    def __init__(self, max_size: int = 4096):
+        if max_size < 0:
+            raise ValueError("dynamic table size must be non-negative")
+        self._entries: deque[HeaderField] = deque()
+        self._size = 0
+        self._max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def size(self) -> int:
+        """Current occupancy in RFC-7541 octets."""
+        return self._size
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    def resize(self, new_max_size: int) -> None:
+        """Change the size limit, evicting entries if it shrank."""
+        if new_max_size < 0:
+            raise ValueError("dynamic table size must be non-negative")
+        self._max_size = new_max_size
+        self._evict_to_fit(0)
+
+    def add(self, field: HeaderField) -> None:
+        """Insert ``field`` at the front, evicting as needed.
+
+        Per RFC 7541 §4.4, a field larger than the table's maximum size
+        simply empties the table and is not inserted.
+        """
+        self._evict_to_fit(field.size)
+        if field.size <= self._max_size:
+            self._entries.appendleft(field)
+            self._size += field.size
+
+    def get(self, index: int) -> HeaderField:
+        """Fetch by 0-based dynamic index (0 == most recent)."""
+        return self._entries[index]
+
+    def find(self, name: bytes, value: bytes) -> tuple[int | None, int | None]:
+        """Search the table.
+
+        Returns ``(full_match, name_match)`` as 0-based dynamic indices
+        (either may be ``None``).  The most recent match wins, matching
+        the behaviour of common encoder implementations.
+        """
+        name_match: int | None = None
+        for i, field in enumerate(self._entries):
+            if field.name == name:
+                if name_match is None:
+                    name_match = i
+                if field.value == value:
+                    return i, name_match
+        return None, name_match
+
+    def _evict_to_fit(self, incoming: int) -> None:
+        while self._entries and self._size + incoming > self._max_size:
+            evicted = self._entries.pop()
+            self._size -= evicted.size

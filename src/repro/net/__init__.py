@@ -1,0 +1,30 @@
+"""Simulated internet substrate.
+
+The paper measures real servers across real WAN paths; this package
+provides the stand-in: a deterministic discrete-event simulation with
+
+* a virtual clock and scheduler (:mod:`repro.net.clock`),
+* hosts, listeners and TCP-like reliable byte-stream connections with
+  per-site RTT, bandwidth and loss models (:mod:`repro.net.transport`),
+* a TLS handshake layer implementing both ALPN and NPN negotiation
+  (:mod:`repro.net.tls`) — the two mechanisms Section IV-A of the paper
+  uses to discover HTTP/2 support, and
+* ICMP echo (:mod:`repro.net.icmp`) for the Fig. 6 RTT comparison.
+
+Determinism: all randomness flows from seeds; running the same
+experiment twice produces byte-identical traces.
+"""
+
+from repro.net.clock import Simulation
+from repro.net.transport import Host, LinkProfile, Network
+from repro.net.tls import AlpnResult, TlsServerConfig, negotiate_tls
+
+__all__ = [
+    "AlpnResult",
+    "Host",
+    "LinkProfile",
+    "Network",
+    "Simulation",
+    "TlsServerConfig",
+    "negotiate_tls",
+]

@@ -1,0 +1,119 @@
+"""Virtual clock and discrete-event scheduler.
+
+All simulated components share one :class:`Simulation`; time only
+advances when :meth:`Simulation.run` (or a variant) processes events.
+Event timestamps are floats in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "callback", "args", "cancelled")
+
+    def __init__(self, when: float, callback: Callable, args: tuple):
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulation:
+    """A deterministic discrete-event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable, *args) -> Timer:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._queue, (when, next(self._sequence), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable, *args) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.now + delay, callback, *args)
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _, _, t in self._queue if not t.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def step(self) -> bool:
+        """Process the next event; returns False if the queue is empty."""
+        while self._queue:
+            when, _, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            assert when >= self.now, "event queue went backwards"
+            self.now = when
+            timer.callback(*timer.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        for _ in range(max_events):
+            if until is not None and self._peek_time() is not None:
+                if self._peek_time() > until:  # type: ignore[operator]
+                    self.now = until
+                    return
+            if not self.step():
+                if until is not None:
+                    self.now = max(self.now, until)
+                return
+        raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 60.0,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true; returns whether it became true.
+
+        ``timeout`` is virtual seconds from the current instant.
+        """
+        deadline = self.now + timeout
+        for _ in range(max_events):
+            if predicate():
+                return True
+            peek = self._peek_time()
+            if peek is None or peek > deadline:
+                self.now = min(deadline, max(self.now, deadline))
+                return predicate()
+            self.step()
+        raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    def _peek_time(self) -> float | None:
+        while self._queue:
+            when, _, timer = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return when
+        return None

@@ -1,0 +1,168 @@
+"""TLS handshake with ALPN and NPN negotiation (simulated).
+
+Section IV-A of the paper: since HTTPS, SPDY and HTTP/2 all listen on
+port 443, H2Scope discovers HTTP/2 support by negotiating the
+application protocol during the TLS handshake, using *both* mechanisms:
+
+* **ALPN** (RFC 7301) — the client lists its protocols in ClientHello
+  and the *server* selects one in ServerHello;
+* **NPN** (the older draft, used by SPDY) — the *server* advertises its
+  protocol list and the client selects.
+
+Real servers differ in which extension they support (Apache has no NPN
+— Table III), and the paper found >100 server types that "just speak
+NPN" because ALPN needs OpenSSL ≥ 1.0.2.  The negotiation logic below
+reproduces those semantics; the cryptography itself is irrelevant to
+the measurements and is modelled as a one-RTT exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical protocol identifiers.
+H2 = "h2"
+HTTP11 = "http/1.1"
+SPDY3 = "spdy/3.1"
+
+
+@dataclass
+class TlsServerConfig:
+    """A server's TLS protocol-negotiation capabilities."""
+
+    #: Protocols selectable via ALPN, in server preference order;
+    #: ``None`` means the ALPN extension is not supported at all.
+    alpn_protocols: list[str] | None = field(default_factory=lambda: [H2, HTTP11])
+    #: Protocols advertised via NPN; ``None`` means no NPN support.
+    npn_protocols: list[str] | None = field(default_factory=lambda: [H2, HTTP11])
+
+    @property
+    def supports_alpn(self) -> bool:
+        return self.alpn_protocols is not None
+
+    @property
+    def supports_npn(self) -> bool:
+        return self.npn_protocols is not None
+
+
+@dataclass
+class AlpnResult:
+    """Outcome of one TLS handshake's protocol negotiation."""
+
+    #: Protocol chosen via ALPN (None if not negotiated).
+    alpn_protocol: str | None = None
+    #: Protocol chosen via NPN (None if not negotiated).
+    npn_protocol: str | None = None
+    #: The mechanism that produced ``protocol`` ("alpn", "npn" or None).
+    mechanism: str | None = None
+
+    @property
+    def protocol(self) -> str | None:
+        if self.alpn_protocol is not None:
+            return self.alpn_protocol
+        return self.npn_protocol
+
+
+def negotiate_alpn(
+    client_protocols: list[str], server: TlsServerConfig
+) -> str | None:
+    """RFC 7301 §3.2: the server picks from the client's list.
+
+    The server selects the first of *its* preferences that the client
+    offered; no overlap (or no server ALPN support) yields None.
+    """
+    if server.alpn_protocols is None:
+        return None
+    for candidate in server.alpn_protocols:
+        if candidate in client_protocols:
+            return candidate
+    return None
+
+
+def negotiate_npn(
+    client_protocols: list[str], server: TlsServerConfig
+) -> str | None:
+    """NPN: the server advertises, the *client* picks.
+
+    The client selects the first of its preferences present in the
+    server's advertisement.
+    """
+    if server.npn_protocols is None:
+        return None
+    for candidate in client_protocols:
+        if candidate in server.npn_protocols:
+            return candidate
+    return None
+
+
+# -- wire format ---------------------------------------------------------
+#
+# The handshake is carried on the simulated byte stream as two
+# newline-terminated text records, so negotiation is observable in
+# traces and costs the one RTT a (resumed) TLS handshake costs:
+#
+#   C -> S:  CLIENTHELLO alpn=h2,http/1.1 npn=1\n
+#   S -> C:  SERVERHELLO alpn=h2 npn=h2,http/1.1\n
+#
+# ``-`` denotes an absent extension.  Encryption itself is not modelled
+# (it does not affect any measured quantity).
+
+HELLO_TERMINATOR = b"\n"
+
+
+def encode_client_hello(
+    alpn: list[str] | None, npn_offered: bool
+) -> bytes:
+    alpn_part = ",".join(alpn) if alpn else "-"
+    return f"CLIENTHELLO alpn={alpn_part} npn={int(npn_offered)}\n".encode()
+
+
+def decode_client_hello(line: bytes) -> tuple[list[str], bool]:
+    """Returns (client_alpn_protocols, npn_offered)."""
+    text = line.decode().strip()
+    if not text.startswith("CLIENTHELLO "):
+        raise ValueError(f"not a client hello: {text[:40]!r}")
+    fields = dict(part.split("=", 1) for part in text.split()[1:])
+    alpn = [] if fields.get("alpn", "-") == "-" else fields["alpn"].split(",")
+    return alpn, fields.get("npn", "0") == "1"
+
+
+def encode_server_hello(
+    alpn_choice: str | None, npn_advertised: list[str] | None
+) -> bytes:
+    alpn_part = alpn_choice if alpn_choice else "-"
+    npn_part = ",".join(npn_advertised) if npn_advertised else "-"
+    return f"SERVERHELLO alpn={alpn_part} npn={npn_part}\n".encode()
+
+
+def decode_server_hello(line: bytes) -> tuple[str | None, list[str] | None]:
+    """Returns (alpn_choice, npn_advertised_protocols)."""
+    text = line.decode().strip()
+    if not text.startswith("SERVERHELLO "):
+        raise ValueError(f"not a server hello: {text[:40]!r}")
+    fields = dict(part.split("=", 1) for part in text.split()[1:])
+    alpn = None if fields.get("alpn", "-") == "-" else fields["alpn"]
+    npn = None if fields.get("npn", "-") == "-" else fields["npn"].split(",")
+    return alpn, npn
+
+
+def negotiate_tls(
+    server: TlsServerConfig,
+    client_alpn: list[str] | None = None,
+    client_npn: list[str] | None = None,
+) -> AlpnResult:
+    """Run both negotiations as H2Scope does (§IV-A).
+
+    ALPN takes precedence when both succeed, mirroring real stacks
+    (ALPN is replacing NPN for security reasons, as the paper notes).
+    """
+    result = AlpnResult()
+    if client_alpn:
+        result.alpn_protocol = negotiate_alpn(client_alpn, server)
+    if client_npn:
+        result.npn_protocol = negotiate_npn(client_npn, server)
+    if result.alpn_protocol is not None:
+        result.mechanism = "alpn"
+    elif result.npn_protocol is not None:
+        result.mechanism = "npn"
+    return result

@@ -1,0 +1,283 @@
+"""Hosts, listeners and TCP-like connections.
+
+The model is a reliable, ordered byte stream (what the paper's probes
+see above the kernel's TCP) with WAN realism where it matters to the
+measurements:
+
+* **latency** — each server host has a round-trip time; delivery of a
+  chunk takes ``rtt / 2`` one way;
+* **bandwidth** — each direction of a connection serializes bytes at
+  the link rate, so large responses take time and interleaving of
+  concurrently transmitted streams is visible in arrival order;
+* **loss** — modelled as retransmission *delay* (an RTO-style penalty
+  added to the affected chunk and everything queued behind it) rather
+  than literal byte loss, because all probes run above reliable
+  delivery; this preserves loss's timing effect without re-implementing
+  TCP recovery;
+* **handshake** — ``connect`` completes after one RTT (SYN/SYN-ACK at
+  kernel level), which is what the paper's TCP-based RTT estimator
+  measures (§III-F).
+
+Determinism: per-connection RNGs are seeded from the network seed plus
+a connection counter.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.net.clock import Simulation
+
+#: Segment size used for serialization and loss accounting.
+MSS = 1460
+
+
+@dataclass
+class LinkProfile:
+    """Path characteristics from the measurement client to one host."""
+
+    rtt: float = 0.05  # seconds, round trip
+    bandwidth: float = 10e6  # bytes per second, each direction
+    loss_rate: float = 0.0  # probability a segment needs retransmission
+    jitter: float = 0.0  # uniform +/- jitter applied per chunk (seconds)
+
+    #: Extra delay charged per retransmitted segment.  A real RTO is at
+    #: least max(200ms, rtt); we use rtt + 0.2s as a plain approximation.
+    def rto(self) -> float:
+        return self.rtt + 0.2
+
+
+class LinkChannel:
+    """One direction of one host's access link.
+
+    Shared by every connection to/from the host, so parallel
+    connections *contend* for serialization capacity instead of each
+    getting the full link — the physics that makes the §VI single-vs-
+    multiple-connection comparison meaningful.
+    """
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+
+
+class Endpoint:
+    """One end of an established connection."""
+
+    def __init__(self, sim: Simulation, label: str):
+        self._sim = sim
+        self.label = label
+        self.peer: "Endpoint | None" = None
+        self.on_data: Callable[[bytes], None] | None = None
+        self.on_close: Callable[[], None] | None = None
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._recv_buffer = bytearray()
+        # Filled in by Network when the pipe is wired up.
+        self._one_way_delay = 0.0
+        self._bandwidth = float("inf")
+        self._channel = LinkChannel()  # shared per host+direction
+        self._stall_until = 0.0  # per-connection loss-recovery stall
+        self._rng: random.Random = random.Random(0)
+        self._profile = LinkProfile()
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue ``data`` for delivery to the peer."""
+        if self.closed:
+            raise ConnectionError(f"{self.label}: send on closed connection")
+        if not data:
+            return
+        assert self.peer is not None
+        self.bytes_sent += len(data)
+
+        # Serialization: the shared link transmits at most `bandwidth`
+        # B/s across ALL connections; this chunk also cannot start
+        # before our own connection finishes any loss recovery.
+        start = max(self._sim.now, self._channel.busy_until, self._stall_until)
+        serialize = len(data) / self._bandwidth if self._bandwidth else 0.0
+        self._channel.busy_until = start + serialize
+
+        # Loss: each segment independently needs a retransmission with
+        # probability loss_rate, each costing one RTO of extra delay.
+        # The stall is per-connection: other connections keep using the
+        # link while this one waits for its retransmission timer.
+        segments = max(1, (len(data) + MSS - 1) // MSS)
+        retransmissions = sum(
+            1 for _ in range(segments) if self._rng.random() < self._profile.loss_rate
+        )
+        penalty = retransmissions * self._profile.rto()
+        self._stall_until = start + serialize + penalty
+
+        jitter = (
+            self._rng.uniform(-self._profile.jitter, self._profile.jitter)
+            if self._profile.jitter
+            else 0.0
+        )
+        arrival = self._stall_until + self._one_way_delay + max(0.0, jitter)
+        self._sim.call_at(arrival, self._deliver_to_peer, data)
+
+    def _deliver_to_peer(self, data: bytes) -> None:
+        peer = self.peer
+        if peer is None or peer.closed:
+            return
+        peer.bytes_received += len(data)
+        if peer.on_data is not None:
+            peer.on_data(data)
+        else:
+            peer._recv_buffer.extend(data)
+
+    def drain(self) -> bytes:
+        """Take any bytes that arrived before ``on_data`` was attached."""
+        data = bytes(self._recv_buffer)
+        self._recv_buffer.clear()
+        return data
+
+    # -- closing -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        peer = self.peer
+        if peer is not None and not peer.closed:
+            self._sim.call_at(
+                self._sim.now + self._one_way_delay, self._deliver_close, peer
+            )
+
+    @staticmethod
+    def _deliver_close(peer: "Endpoint") -> None:
+        if peer.closed:
+            return
+        peer.closed = True
+        if peer.on_close is not None:
+            peer.on_close()
+
+
+class Host:
+    """A named machine on the simulated network."""
+
+    def __init__(self, network: "Network", name: str, profile: LinkProfile):
+        self.network = network
+        self.name = name
+        self.profile = profile
+        self._listeners: dict[int, Callable[[Endpoint], None]] = {}
+        #: Kernel-level turnaround added to ICMP echo / SYN-ACK replies.
+        self.kernel_delay = 0.00005
+        #: Shared access-link capacity, one channel per direction.
+        self.downlink = LinkChannel()
+        self.uplink = LinkChannel()
+
+    def listen(self, port: int, on_accept: Callable[[Endpoint], None]) -> None:
+        """Register ``on_accept(server_endpoint)`` for inbound connections."""
+        if port in self._listeners:
+            raise ValueError(f"{self.name}: port {port} already listening")
+        self._listeners[port] = on_accept
+
+    def listener(self, port: int) -> Callable[[Endpoint], None] | None:
+        return self._listeners.get(port)
+
+    def close_port(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+
+class ConnectAttempt:
+    """Pending TCP connect; resolves after the simulated handshake."""
+
+    def __init__(self, sim: Simulation):
+        self._sim = sim
+        self.established = False
+        self.refused = False
+        self.endpoint: Endpoint | None = None
+        self.started_at = sim.now
+        self.completed_at: float | None = None
+        self.on_connect: Callable[[Endpoint], None] | None = None
+
+    @property
+    def handshake_rtt(self) -> float | None:
+        """SYN → SYN-ACK interval, i.e. the TCP-based RTT estimate."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def _complete(self, endpoint: Endpoint | None) -> None:
+        self.completed_at = self._sim.now
+        if endpoint is None:
+            self.refused = True
+        else:
+            self.established = True
+            self.endpoint = endpoint
+            if self.on_connect is not None:
+                self.on_connect(endpoint)
+
+
+class Network:
+    """Registry of hosts plus the connection factory."""
+
+    def __init__(self, sim: Simulation, seed: int = 0):
+        self.sim = sim
+        self.seed = seed
+        self.hosts: dict[str, Host] = {}
+        self._connection_counter = 0
+
+    def add_host(self, name: str, profile: LinkProfile | None = None) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"host {name} already exists")
+        host = Host(self, name, profile or LinkProfile())
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def connect(self, server_name: str, port: int) -> ConnectAttempt:
+        """Open a TCP-like connection from the measurement client.
+
+        Returns a :class:`ConnectAttempt`; the handshake needs one RTT
+        of virtual time, so callers run the simulation until
+        ``attempt.established`` (or ``attempt.refused``).
+        """
+        attempt = ConnectAttempt(self.sim)
+        server = self.hosts.get(server_name)
+        if server is None:
+            # No such host: model as immediate refusal after one RTT
+            # (an RST from an intermediate router would be faster, but
+            # the distinction is irrelevant to the probes).
+            self.sim.call_later(0.0, attempt._complete, None)
+            return attempt
+
+        listener = server.listener(port)
+        profile = server.profile
+        if listener is None:
+            self.sim.call_later(profile.rtt, attempt._complete, None)
+            return attempt
+
+        self._connection_counter += 1
+        conn_seed = hash((self.seed, server_name, port, self._connection_counter))
+
+        client_end = Endpoint(self.sim, f"client->{server_name}:{port}")
+        server_end = Endpoint(self.sim, f"{server_name}:{port}->client")
+        client_end.peer = server_end
+        server_end.peer = client_end
+        for end in (client_end, server_end):
+            end._one_way_delay = profile.rtt / 2
+            end._bandwidth = profile.bandwidth
+            end._profile = profile
+            end._rng = random.Random(conn_seed)
+        # Parallel connections to one host contend for its access link.
+        client_end._channel = server.uplink
+        server_end._channel = server.downlink
+
+        def handshake_done() -> None:
+            listener(server_end)
+            attempt._complete(client_end)
+
+        # SYN out + SYN-ACK back: one RTT plus the server kernel's
+        # (tiny) turnaround.  The final ACK piggybacks on first data.
+        self.sim.call_later(profile.rtt + server.kernel_delay, handshake_done)
+        return attempt

@@ -1,0 +1,253 @@
+"""``h2scope`` command-line interface.
+
+Mirrors how the paper's tool was used: characterize the testbed
+servers, scan a (synthetic) population, or reproduce a specific
+table/figure.
+
+Examples::
+
+    h2scope testbed                       # Table III feature matrix
+    h2scope scan --experiment 1 -n 300    # population scan summaries
+    h2scope experiment fig6               # any single table/figure
+    h2scope experiment all -n 200         # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.experiments import table3
+
+    result = table3.run(seed=args.seed)
+    print(result.text)
+    return 0 if not result.data["mismatches"] else 1
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        adoption,
+        flowcontrol_scan,
+        priority_scan,
+        push_scan,
+        settings_tables,
+        table4,
+    )
+
+    for module in (
+        adoption,
+        table4,
+        settings_tables,
+        flowcontrol_scan,
+        priority_scan,
+        push_scan,
+    ):
+        result = module.run(
+            experiment=args.experiment, n_sites=args.n_sites, seed=args.seed
+        )
+        print(result.text)
+        print("=" * 72)
+
+    if args.db:
+        from repro.experiments.common import population_scan
+        from repro.scope.scanner import ALL_PROBES
+        from repro.scope.storage import ReportStore
+
+        _, reports, _ = population_scan(
+            args.experiment, args.n_sites, args.seed, frozenset(ALL_PROBES)
+        )
+        campaign = f"experiment-{args.experiment}"
+        with ReportStore(args.db) as store:
+            store.save_many(campaign, reports)
+            print(
+                f"stored {store.count(campaign)} reports for {campaign} "
+                f"in {args.db}"
+            )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Summarize a stored scan database (the paper's 'further study')."""
+    from repro.analysis.tables import format_table
+    from repro.scope.storage import ReportStore
+
+    with ReportStore(args.db) as store:
+        campaigns = store.campaigns()
+        if not campaigns:
+            print(f"{args.db}: no campaigns stored")
+            return 1
+        for campaign in campaigns:
+            total = store.count(campaign)
+            responsive = store.count(campaign, headers_only=True)
+            print(
+                f"campaign {campaign}: {total} sites scanned, "
+                f"{responsive} returned HEADERS"
+            )
+            counts = store.server_header_counts(campaign)
+            rows = [[header, n] for header, n in list(counts.items())[:10]]
+            print(format_table(["server", "sites"], rows))
+            ratios = store.hpack_ratios(campaign)
+            if ratios:
+                below = sum(1 for r in ratios if r <= 0.3) / len(ratios)
+                print(
+                    f"HPACK ratios: {len(ratios)} measured, "
+                    f"{below:.0%} at or below 0.3\n"
+                )
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.net.clock import Simulation
+    from repro.net.transport import Network
+    from repro.scope.conformance import run_conformance
+    from repro.servers.site import Site, deploy_site
+    from repro.servers.vendors import VENDOR_FACTORIES
+    from repro.servers.website import testbed_website
+
+    names = list(VENDOR_FACTORIES) if args.vendor == "all" else [args.vendor]
+    unknown = [n for n in names if n not in VENDOR_FACTORIES]
+    if unknown:
+        print(f"unknown vendor(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    any_conformant = False
+    for name in names:
+        sim = Simulation()
+        network = Network(sim, seed=args.seed)
+        site = Site(
+            domain=f"{name}.testbed",
+            profile=VENDOR_FACTORIES[name](),
+            website=testbed_website(),
+        )
+        deploy_site(network, site)
+        report = run_conformance(
+            network,
+            site.domain,
+            large_path="/large/0.bin",
+            multiplex_paths=[f"/large/{i}.bin" for i in range(3)],
+        )
+        print(report.summary())
+        any_conformant = any_conformant or report.fully_conformant
+    return 0
+
+
+EXPERIMENT_RUNNERS = {
+    "table3": lambda args: __import__(
+        "repro.experiments.table3", fromlist=["run"]
+    ).run(seed=args.seed),
+    "adoption": lambda args: __import__(
+        "repro.experiments.adoption", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "table4": lambda args: __import__(
+        "repro.experiments.table4", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "settings": lambda args: __import__(
+        "repro.experiments.settings_tables", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "fig2": lambda args: __import__(
+        "repro.experiments.fig2", fromlist=["run"]
+    ).run(args.n_sites, args.seed),
+    "flowcontrol": lambda args: __import__(
+        "repro.experiments.flowcontrol_scan", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "priority": lambda args: __import__(
+        "repro.experiments.priority_scan", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "push": lambda args: __import__(
+        "repro.experiments.push_scan", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "fig3": lambda args: __import__(
+        "repro.experiments.fig3", fromlist=["run"]
+    ).run(visits=args.visits, seed=args.seed),
+    "fig45": lambda args: __import__(
+        "repro.experiments.fig45", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
+    "fig6": lambda args: __import__(
+        "repro.experiments.fig6", fromlist=["run"]
+    ).run(seed=args.seed),
+    "attacks": lambda args: __import__(
+        "repro.experiments.attacks_study", fromlist=["run"]
+    ).run(seed=args.seed),
+    "lossy": lambda args: __import__(
+        "repro.experiments.lossy_ablation", fromlist=["run"]
+    ).run(seed=args.seed),
+    "dynamic-push": lambda args: __import__(
+        "repro.experiments.dynamic_push", fromlist=["run"]
+    ).run(seed=args.seed),
+    "longitudinal": lambda args: __import__(
+        "repro.experiments.longitudinal", fromlist=["run"]
+    ).run(n_sites=args.n_sites, seed=args.seed),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENT_RUNNERS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in EXPERIMENT_RUNNERS:
+            print(
+                f"unknown experiment {name!r}; choose from "
+                f"{', '.join(EXPERIMENT_RUNNERS)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        result = EXPERIMENT_RUNNERS[name](args)
+        print(result.text)
+        print("=" * 72)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="h2scope",
+        description="H2Scope reproduction: probe simulated HTTP/2 servers "
+        "and regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="deterministic seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    testbed = sub.add_parser("testbed", help="Table III: six-vendor feature matrix")
+    testbed.set_defaults(func=_cmd_testbed)
+
+    scan = sub.add_parser("scan", help="population scan summaries (§V-B..F)")
+    scan.add_argument("--experiment", type=int, choices=(1, 2), default=1)
+    scan.add_argument("-n", "--n-sites", type=int, default=300)
+    scan.add_argument(
+        "--db",
+        default=None,
+        help="also store full per-site reports into this SQLite database",
+    )
+    scan.set_defaults(func=_cmd_scan)
+
+    report = sub.add_parser("report", help="summarize a stored scan database")
+    report.add_argument("db", help="SQLite database written by 'scan --db'")
+    report.set_defaults(func=_cmd_report)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="h2spec-style RFC 7540 conformance report for one testbed vendor",
+    )
+    conformance.add_argument(
+        "vendor",
+        help="nginx, litespeed, h2o, nghttpd, tengine, apache, or 'all'",
+    )
+    conformance.set_defaults(func=_cmd_conformance)
+
+    experiment = sub.add_parser("experiment", help="run one table/figure by name")
+    experiment.add_argument("name", help="table3, adoption, table4, settings, "
+                            "fig2, flowcontrol, priority, push, fig3, fig45, "
+                            "fig6, or 'all'")
+    experiment.add_argument("--experiment", type=int, choices=(1, 2), default=1)
+    experiment.add_argument("-n", "--n-sites", type=int, default=300)
+    experiment.add_argument("--visits", type=int, default=10)
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,392 @@
+"""The frame-level probing client.
+
+A :class:`ScopeClient` owns one connection to one site: TCP connect,
+TLS hello (ALPN/NPN), then an :class:`~repro.h2.connection.H2Connection`
+in **non-strict** mode so probes can send protocol-violating frames
+(zero window updates, overflowing increments, self-dependent PRIORITY
+frames).  Automatic window replenishment is off by default: most probes
+need full manual control of flow-control windows (Algorithm 1 depends
+on deliberately exhausting the connection window).
+
+Every received event and frame is timestamped and logged; probes work
+from these logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.h2 import events as ev
+from repro.h2.connection import ConnectionConfig, H2Connection, Side
+from repro.h2.errors import H2Error
+from repro.h2.frames import Frame, PriorityData
+from repro.net.tls import (
+    H2,
+    HTTP11,
+    decode_server_hello,
+    encode_client_hello,
+)
+from repro.net.transport import ConnectAttempt, Endpoint, Network
+
+#: Default virtual-time budget for waiting on a server reaction.
+DEFAULT_TIMEOUT = 8.0
+
+
+@dataclass
+class TimedEvent:
+    """An event with the virtual time it was observed at."""
+
+    at: float
+    event: ev.Event
+
+
+@dataclass
+class TimedFrame:
+    at: float
+    frame: Frame
+
+
+@dataclass
+class TlsOutcome:
+    connected: bool = False
+    alpn_protocol: str | None = None
+    npn_protocol: str | None = None
+    chosen: str | None = None
+    mechanism: str | None = None
+    tcp_handshake_rtt: float | None = None
+
+
+class ScopeClient:
+    """One probing connection to one site."""
+
+    def __init__(
+        self,
+        network: Network,
+        domain: str,
+        port: int = 443,
+        alpn: list[str] | None = None,
+        offer_npn: bool = True,
+        npn_prefs: list[str] | None = None,
+        settings: dict[int, int] | None = None,
+        auto_window_update: bool = False,
+        enable_push: bool | None = None,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.domain = domain
+        self.port = port
+        self.alpn = [H2, HTTP11] if alpn is None else alpn
+        self.offer_npn = offer_npn
+        #: Client-side preference list for NPN selection (NPN lets the
+        #: *client* choose from the server's advertisement).
+        self.npn_prefs = [H2, HTTP11] if npn_prefs is None else npn_prefs
+        self.initial_settings = dict(settings or {})
+        if enable_push is not None:
+            self.initial_settings[2] = int(enable_push)
+        self.auto_window_update = auto_window_update
+
+        self.endpoint: Endpoint | None = None
+        self.conn: H2Connection | None = None
+        self.tls = TlsOutcome()
+        self.events: list[TimedEvent] = []
+        self.frames: list[TimedFrame] = []
+        self.errors: list[str] = []
+        self._hello_buffer = b""
+        self._mode = "idle"
+        self._raw_http1 = bytearray()
+        self._http1_response_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Connection establishment
+    # ------------------------------------------------------------------
+
+    def connect(self, timeout: float = DEFAULT_TIMEOUT) -> bool:
+        """TCP connect; returns success and records the handshake RTT."""
+        attempt: ConnectAttempt = self.network.connect(self.domain, self.port)
+        self.sim.run_until(
+            lambda: attempt.established or attempt.refused, timeout=timeout
+        )
+        if not attempt.established:
+            return False
+        self.tls.tcp_handshake_rtt = attempt.handshake_rtt
+        self.endpoint = attempt.endpoint
+        assert self.endpoint is not None
+        self.endpoint.on_data = self._on_data
+        return True
+
+    def tls_handshake(self, timeout: float = DEFAULT_TIMEOUT) -> TlsOutcome:
+        """Exchange hellos; sets :attr:`tls` and returns it."""
+        assert self.endpoint is not None, "connect() first"
+        self._mode = "hello"
+        self.endpoint.send(encode_client_hello(self.alpn, self.offer_npn))
+        self.sim.run_until(lambda: self._mode != "hello", timeout=timeout)
+        return self.tls
+
+    def establish_h2(self, timeout: float = DEFAULT_TIMEOUT) -> bool:
+        """connect + TLS + HTTP/2 preface/SETTINGS, in one call."""
+        if not self.connect(timeout=timeout):
+            return False
+        self.tls_handshake(timeout=timeout)
+        if self.tls.chosen != H2:
+            return False
+        self.start_h2()
+        # Wait for the server's SETTINGS (or silence).
+        self.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.SettingsReceived) for te in self.events
+            ),
+            timeout=timeout,
+        )
+        return True
+
+    def start_h2(self) -> None:
+        """Attach the HTTP/2 engine and send preface + our SETTINGS."""
+        config = ConnectionConfig(
+            side=Side.CLIENT,
+            strict=False,
+            auto_settings_ack=True,
+            auto_ping_ack=True,
+            auto_window_update=self.auto_window_update,
+            initial_settings=self.initial_settings,
+        )
+        self.conn = H2Connection(config)
+        self._mode = "h2"
+        self.conn.initiate()
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    def _on_data(self, data: bytes) -> None:
+        if self._mode == "hello":
+            self._hello_buffer += data
+            if b"\n" not in self._hello_buffer:
+                return
+            line, _, rest = self._hello_buffer.partition(b"\n")
+            self._hello_buffer = b""
+            self._finish_hello(line)
+            if rest:
+                self._on_data(rest)
+            return
+        if self._mode == "http1":
+            if not self._raw_http1:
+                self._http1_response_at = self.sim.now
+            self._raw_http1.extend(data)
+            return
+        if self._mode != "h2" or self.conn is None:
+            return
+        frame_count = len(self.conn.frame_log)
+        try:
+            produced = self.conn.receive_bytes(data)
+        except H2Error as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+            produced = []
+        now = self.sim.now
+        for frame in self.conn.frame_log[frame_count:]:
+            self.frames.append(TimedFrame(at=now, frame=frame))
+        for event in produced:
+            self.events.append(TimedEvent(at=now, event=event))
+        self.flush()
+
+    def _finish_hello(self, line: bytes) -> None:
+        try:
+            alpn_choice, npn_list = decode_server_hello(line)
+        except ValueError:
+            self.errors.append("malformed server hello")
+            self._mode = "failed"
+            return
+        outcome = self.tls
+        outcome.connected = True
+        outcome.alpn_protocol = alpn_choice
+        if npn_list is not None:
+            # NPN: the client picks from the server's advertisement.
+            for proto in self.npn_prefs:
+                if proto in npn_list:
+                    outcome.npn_protocol = proto
+                    break
+        if outcome.alpn_protocol is not None:
+            outcome.chosen = outcome.alpn_protocol
+            outcome.mechanism = "alpn"
+        elif outcome.npn_protocol is not None:
+            outcome.chosen = outcome.npn_protocol
+            outcome.mechanism = "npn"
+        self._mode = "negotiated"
+
+    # ------------------------------------------------------------------
+    # Outbound helpers
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        if self.conn is None or self.endpoint is None or self.endpoint.closed:
+            return
+        data = self.conn.data_to_send()
+        if data:
+            self.endpoint.send(data)
+
+    def request(
+        self,
+        path: str = "/",
+        end_stream: bool = True,
+        priority: PriorityData | None = None,
+        extra_headers: list[tuple[str, str]] | None = None,
+    ) -> int:
+        """Send a GET request; returns the new stream id."""
+        assert self.conn is not None
+        stream_id = self.conn.next_stream_id()
+        headers: list[tuple[str, str]] = [
+            (":method", "GET"),
+            (":scheme", "https"),
+            (":path", path),
+            (":authority", self.domain),
+            ("user-agent", "h2scope/1.0"),
+        ]
+        headers.extend(extra_headers or [])
+        self.conn.send_headers(
+            stream_id, headers, end_stream=end_stream, priority=priority
+        )
+        self.flush()
+        return stream_id
+
+    def send_settings(self, settings: dict[int, int]) -> None:
+        assert self.conn is not None
+        self.conn.send_settings(settings)
+        self.flush()
+
+    def send_window_update(self, stream_id: int, increment: int) -> None:
+        assert self.conn is not None
+        self.conn.send_window_update(stream_id, increment)
+        self.flush()
+
+    def send_priority(
+        self, stream_id: int, depends_on: int, weight: int = 16, exclusive: bool = False
+    ) -> None:
+        assert self.conn is not None
+        self.conn.send_priority(stream_id, depends_on, weight, exclusive)
+        self.flush()
+
+    def send_ping(self, payload: bytes = b"h2scope!") -> None:
+        assert self.conn is not None
+        self.conn.send_ping(payload)
+        self.flush()
+
+    def send_rst_stream(self, stream_id: int, error_code: int = 8) -> None:
+        assert self.conn is not None
+        self.conn.send_rst_stream(stream_id, error_code)
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Waiting / inspection
+    # ------------------------------------------------------------------
+
+    def wait_for(self, predicate, timeout: float = DEFAULT_TIMEOUT) -> bool:
+        """Advance virtual time until ``predicate()`` or timeout."""
+        return self.sim.run_until(predicate, timeout=timeout)
+
+    def settle(self, quiet_period: float = 1.0, timeout: float = 30.0) -> None:
+        """Run until no new events arrive for ``quiet_period`` seconds."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            count = len(self.events)
+            self.sim.run_until(
+                lambda: len(self.events) > count,
+                timeout=min(quiet_period, deadline - self.sim.now),
+            )
+            if len(self.events) == count:
+                return
+
+    def events_of(self, event_type) -> list[TimedEvent]:
+        return [te for te in self.events if isinstance(te.event, event_type)]
+
+    def stream_events(self, stream_id: int, event_type=None) -> list[TimedEvent]:
+        out = []
+        for te in self.events:
+            if getattr(te.event, "stream_id", None) != stream_id:
+                continue
+            if event_type is not None and not isinstance(te.event, event_type):
+                continue
+            out.append(te)
+        return out
+
+    def headers_for(self, stream_id: int) -> ev.HeadersReceived | None:
+        for te in self.events_of(ev.HeadersReceived):
+            if te.event.stream_id == stream_id:
+                return te.event
+        return None
+
+    def data_for(self, stream_id: int) -> bytes:
+        return b"".join(
+            te.event.data
+            for te in self.events_of(ev.DataReceived)
+            if te.event.stream_id == stream_id
+        )
+
+    def close(self) -> None:
+        if self.endpoint is not None and not self.endpoint.closed:
+            self.endpoint.close()
+
+    # ------------------------------------------------------------------
+    # HTTP/1.1 mode (for the Fig. 6 h1-request RTT estimator)
+    # ------------------------------------------------------------------
+
+    def upgrade_h2c(self, path: str = "/", timeout: float = DEFAULT_TIMEOUT) -> bool:
+        """Attempt an HTTP/1.1 → HTTP/2 cleartext upgrade (RFC 7540 §3.2).
+
+        The client must be connected to a cleartext port (no TLS hello).
+        On a 101 response the connection switches to HTTP/2 with the
+        upgrading request installed as stream 1; returns whether the
+        upgrade succeeded.  A normal HTTP/1.1 response means the server
+        declined (or ignores) the Upgrade header.
+        """
+        import base64
+
+        assert self.endpoint is not None, "connect() first"
+        from repro.h2.frames import SettingsFrame
+
+        payload = SettingsFrame(
+            settings=[(int(k), int(v)) for k, v in self.initial_settings.items()]
+        ).serialize_payload()
+        token = base64.urlsafe_b64encode(payload).rstrip(b"=").decode()
+
+        self._mode = "http1"
+        self._raw_http1.clear()
+        self.endpoint.send(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.domain}\r\n"
+                "Connection: Upgrade, HTTP2-Settings\r\n"
+                "Upgrade: h2c\r\n"
+                f"HTTP2-Settings: {token}\r\n\r\n"
+            ).encode()
+        )
+        self.sim.run_until(
+            lambda: b"\r\n\r\n" in bytes(self._raw_http1), timeout=timeout
+        )
+        raw = bytes(self._raw_http1)
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        if not head.startswith(b"HTTP/1.1 101"):
+            return False
+        self._raw_http1.clear()
+        self.start_h2()  # sends the connection preface + SETTINGS
+        assert self.conn is not None
+        self.conn.upgrade_stream()
+        if rest:
+            self._on_data(rest)
+        return True
+
+    def http1_get(self, path: str = "/", timeout: float = DEFAULT_TIMEOUT) -> float | None:
+        """Issue an HTTP/1.1 GET; returns request→first-byte interval."""
+        assert self.endpoint is not None
+        self._mode = "http1"
+        self._raw_http1.clear()
+        self._http1_response_at = None
+        start = self.sim.now
+        self.endpoint.send(
+            f"GET {path} HTTP/1.1\r\nHost: {self.domain}\r\n\r\n".encode()
+        )
+        self.sim.run_until(
+            lambda: self._http1_response_at is not None, timeout=timeout
+        )
+        if self._http1_response_at is None:
+            return None
+        return self._http1_response_at - start

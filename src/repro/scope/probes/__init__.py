@@ -1,0 +1,36 @@
+"""The H2Scope probe suite — one module per Section-III method.
+
+Every probe is a function taking the simulated :class:`~repro.net.
+transport.Network` plus a target domain and returning one of the typed
+results from :mod:`repro.scope.report`.  Probes open their own
+connections and leave the network reusable.
+"""
+
+from repro.scope.probes.negotiation import probe_negotiation
+from repro.scope.probes.settings_probe import probe_settings
+from repro.scope.probes.multiplexing import probe_multiplexing
+from repro.scope.probes.flow_control import (
+    probe_large_window_update,
+    probe_tiny_window,
+    probe_zero_window_headers,
+    probe_zero_window_update,
+)
+from repro.scope.probes.priority import probe_priority, probe_self_dependency
+from repro.scope.probes.push import probe_push
+from repro.scope.probes.hpack_probe import probe_hpack
+from repro.scope.probes.ping import probe_ping
+
+__all__ = [
+    "probe_hpack",
+    "probe_large_window_update",
+    "probe_multiplexing",
+    "probe_negotiation",
+    "probe_ping",
+    "probe_priority",
+    "probe_push",
+    "probe_self_dependency",
+    "probe_settings",
+    "probe_tiny_window",
+    "probe_zero_window_headers",
+    "probe_zero_window_update",
+]

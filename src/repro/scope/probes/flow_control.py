@@ -1,0 +1,170 @@
+"""Flow-control probes (§III-B, results in §V-D).
+
+Four sub-probes:
+
+1. **Controlling DATA frames** — announce a tiny
+   SETTINGS_INITIAL_WINDOW_SIZE (``Sframe``) and check that the
+   response DATA frame is exactly that big (the DoS-angle the paper
+   highlights: a malicious receiver can pin a server's memory).
+2. **Zero initial window on HEADERS** — with a zero window a compliant
+   server still returns HEADERS, since flow control governs only DATA.
+3. **Zero window update** — send WINDOW_UPDATE with increment 0 and
+   classify the reaction (RST_STREAM / GOAWAY / ignore).
+4. **Large window update** — overflow the window past 2^31-1 with two
+   updates and classify the reaction.
+"""
+
+from __future__ import annotations
+
+from repro.h2 import events as ev
+from repro.h2.constants import MAX_WINDOW_SIZE, SettingCode
+from repro.net.transport import Network
+from repro.scope.client import ScopeClient
+from repro.scope.report import ErrorReaction, TinyWindowResult
+
+IWS = int(SettingCode.INITIAL_WINDOW_SIZE)
+
+
+def probe_tiny_window(
+    network: Network,
+    domain: str,
+    sframe: int = 1,
+    path: str = "/",
+    timeout: float = 8.0,
+) -> tuple[TinyWindowResult, int | None, bool]:
+    """§III-B1.  Returns (category, first DATA size, headers_received)."""
+    client = ScopeClient(network, domain, settings={IWS: sframe})
+    if not client.establish_h2(timeout=timeout):
+        client.close()
+        return TinyWindowResult.NO_RESPONSE, None, False
+
+    stream_id = client.request(path)
+    client.wait_for(
+        lambda: any(
+            te.event.stream_id == stream_id
+            for te in client.events_of(ev.DataReceived)
+        ),
+        timeout=timeout,
+    )
+    data_events = [
+        te
+        for te in client.events_of(ev.DataReceived)
+        if te.event.stream_id == stream_id
+    ]
+    headers_received = client.headers_for(stream_id) is not None
+    client.close()
+
+    if not data_events:
+        return TinyWindowResult.NO_RESPONSE, None, headers_received
+    first_size = len(data_events[0].event.data)
+    if first_size == 0:
+        return TinyWindowResult.ZERO_LENGTH_DATA, 0, headers_received
+    return TinyWindowResult.WINDOW_SIZED_DATA, first_size, headers_received
+
+
+def probe_zero_window_headers(
+    network: Network, domain: str, path: str = "/", timeout: float = 8.0
+) -> bool | None:
+    """§III-B2.  True iff HEADERS arrive while the window is zero.
+
+    Returns None when HTTP/2 could not be established at all.
+    """
+    client = ScopeClient(network, domain, settings={IWS: 0})
+    if not client.establish_h2(timeout=timeout):
+        client.close()
+        return None
+    stream_id = client.request(path)
+    client.wait_for(
+        lambda: client.headers_for(stream_id) is not None, timeout=timeout
+    )
+    headers = client.headers_for(stream_id) is not None
+    got_data = any(
+        te.event.stream_id == stream_id and te.event.data
+        for te in client.events_of(ev.DataReceived)
+    )
+    client.close()
+    # Compliance requires headers *without* data.
+    return headers and not got_data
+
+
+def probe_zero_window_update(
+    network: Network,
+    domain: str,
+    level: str = "stream",
+    path: str = "/big.bin",
+    timeout: float = 8.0,
+) -> tuple[ErrorReaction | None, bytes]:
+    """§III-B3.  Returns (reaction, GOAWAY debug data if any)."""
+    # A one-octet window keeps the response stream alive and blocked,
+    # so the server definitely still knows the stream when the bogus
+    # update arrives.
+    client = ScopeClient(network, domain, settings={IWS: 1})
+    if not client.establish_h2(timeout=timeout):
+        client.close()
+        return None, b""
+    stream_id = client.request(path)
+    client.wait_for(
+        lambda: client.headers_for(stream_id) is not None, timeout=timeout / 2
+    )
+
+    target = 0 if level == "connection" else stream_id
+    client.send_window_update(target, 0)
+
+    reaction = _await_reaction(client, stream_id, timeout)
+    debug = b""
+    for te in client.events_of(ev.GoAwayReceived):
+        debug = te.event.debug_data
+    client.close()
+    return reaction, debug
+
+
+def probe_large_window_update(
+    network: Network,
+    domain: str,
+    level: str = "stream",
+    path: str = "/big.bin",
+    timeout: float = 8.0,
+) -> ErrorReaction | None:
+    """§III-B4: two WINDOW_UPDATEs whose sum exceeds 2^31-1."""
+    client = ScopeClient(network, domain, settings={IWS: 1})
+    if not client.establish_h2(timeout=timeout):
+        client.close()
+        return None
+    stream_id = client.request(path)
+    client.wait_for(
+        lambda: client.headers_for(stream_id) is not None, timeout=timeout / 2
+    )
+
+    target = 0 if level == "connection" else stream_id
+    half = MAX_WINDOW_SIZE // 2 + 1
+    # Both frames leave in one flight so the window cannot drain between
+    # them; their sum exceeds 2^31-1 regardless of the starting window.
+    assert client.conn is not None
+    client.conn.send_window_update(target, half)
+    client.conn.send_window_update(target, half)
+    client.flush()
+
+    reaction = _await_reaction(client, stream_id, timeout)
+    client.close()
+    return reaction
+
+
+def _await_reaction(
+    client: ScopeClient, stream_id: int, timeout: float
+) -> ErrorReaction:
+    """Wait for RST_STREAM / GOAWAY; silence within ``timeout`` = ignore."""
+
+    def saw_reaction() -> bool:
+        return any(
+            (isinstance(te.event, ev.StreamReset) and te.event.stream_id == stream_id)
+            or isinstance(te.event, ev.GoAwayReceived)
+            for te in client.events
+        )
+
+    client.wait_for(saw_reaction, timeout=timeout)
+    for te in client.events:
+        if isinstance(te.event, ev.StreamReset) and te.event.stream_id == stream_id:
+            return ErrorReaction.RST_STREAM
+        if isinstance(te.event, ev.GoAwayReceived):
+            return ErrorReaction.GOAWAY
+    return ErrorReaction.IGNORE

@@ -1,0 +1,51 @@
+"""HPACK probe (§III-E, Eq. 1; results in §V-G / Figs. 4-5).
+
+Send ``H`` identical requests and record the wire size of each response
+header block.  A server that maintains its dynamic table correctly
+replaces repeated response fields with indices, so blocks 2..H are much
+smaller than the first and the compression ratio
+
+    r = sum(S_i) / (S_1 * H)
+
+is small.  A server that never indexes response fields (Nginx, Tengine,
+IdeaWebServer) sends equal-sized blocks: r = 1.  Sites that inject a
+fresh cookie per response produce r > 1 and are filtered out by the
+analysis layer, exactly as the paper filters them from Figs. 4-5.
+"""
+
+from __future__ import annotations
+
+from repro.net.transport import Network
+from repro.scope.client import ScopeClient
+from repro.scope.report import HpackResult
+
+
+def probe_hpack(
+    network: Network,
+    domain: str,
+    path: str = "/",
+    repetitions: int = 8,
+    timeout: float = 10.0,
+) -> HpackResult:
+    result = HpackResult(requests=repetitions)
+    client = ScopeClient(network, domain, auto_window_update=True)
+    if not client.establish_h2():
+        client.close()
+        return result
+
+    sizes: list[int] = []
+    for _ in range(repetitions):
+        stream_id = client.request(path)
+        client.wait_for(
+            lambda: client.headers_for(stream_id) is not None, timeout=timeout
+        )
+        event = client.headers_for(stream_id)
+        if event is None:
+            break
+        sizes.append(event.encoded_size)
+
+    client.close()
+    result.header_sizes = sizes
+    if len(sizes) == repetitions and sizes[0] > 0:
+        result.ratio = sum(sizes) / (sizes[0] * repetitions)
+    return result

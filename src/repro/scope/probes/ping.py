@@ -1,0 +1,79 @@
+"""RTT probes (§III-F, results in §V-H / Fig. 6).
+
+Four estimators against the same target:
+
+* **h2-ping** — HTTP/2 PING round trip.  The RFC suggests PING
+  responses get priority over everything else, so the turnaround is
+  nearly kernel-fast.
+* **tcp-rtt** — SYN → SYN/ACK interval of the TCP handshake.
+* **icmp** — classic ICMP echo.
+* **h2-request** — HTTP/1.1 request → first response byte; inflated by
+  server-side request processing, which is the effect Fig. 6 shows.
+"""
+
+from __future__ import annotations
+
+from repro.h2 import events as ev
+from repro.net.icmp import icmp_ping
+from repro.net.tls import HTTP11
+from repro.net.transport import Network
+from repro.scope.client import ScopeClient
+from repro.scope.report import PingResult
+
+
+def probe_ping(
+    network: Network,
+    domain: str,
+    samples: int = 3,
+    timeout: float = 8.0,
+) -> PingResult:
+    result = PingResult()
+
+    # -- HTTP/2 PING + TCP handshake RTT -----------------------------------
+    client = ScopeClient(network, domain)
+    if client.establish_h2(timeout=timeout):
+        result.tcp_rtt = client.tls.tcp_handshake_rtt
+        rtts: list[float] = []
+        for i in range(samples):
+            payload = f"scope{i:03d}".encode()[:8].ljust(8, b"\x00")
+            start = client.sim.now
+            client.send_ping(payload)
+
+            def acked() -> bool:
+                return any(
+                    isinstance(te.event, ev.PingAckReceived)
+                    and te.event.payload == payload
+                    for te in client.events
+                )
+
+            if client.wait_for(acked, timeout=timeout):
+                ack_time = next(
+                    te.at
+                    for te in client.events
+                    if isinstance(te.event, ev.PingAckReceived)
+                    and te.event.payload == payload
+                )
+                rtts.append(ack_time - start)
+        if rtts:
+            result.ping_supported = True
+            result.h2_ping_rtt = sum(rtts) / len(rtts)
+    client.close()
+
+    # -- ICMP ------------------------------------------------------------------
+    session = icmp_ping(network, domain, count=samples)
+    result.icmp_rtt = session.avg_rtt
+
+    # -- HTTP/1.1 request ---------------------------------------------------------
+    h1 = ScopeClient(network, domain, alpn=[HTTP11], offer_npn=False)
+    if h1.connect(timeout=timeout):
+        tls = h1.tls_handshake(timeout=timeout)
+        if tls.connected:
+            h1_rtts = []
+            for _ in range(samples):
+                interval = h1.http1_get("/", timeout=timeout)
+                if interval is not None:
+                    h1_rtts.append(interval)
+            if h1_rtts:
+                result.http1_rtt = sum(h1_rtts) / len(h1_rtts)
+    h1.close()
+    return result

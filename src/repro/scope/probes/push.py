@@ -1,0 +1,51 @@
+"""Server-push probe (§III-D, results in §V-F).
+
+Push is optional, so the probe first announces SETTINGS_ENABLE_PUSH=1,
+then browses pages; receipt of any PUSH_PROMISE frame means the server
+pushes.  The paper browsed the front page (only six sites pushed in the
+first experiment) and other URLs (nothing pushed).
+"""
+
+from __future__ import annotations
+
+from repro.h2 import events as ev
+from repro.net.transport import Network
+from repro.scope.client import ScopeClient
+from repro.scope.report import PushResult
+
+
+def probe_push(
+    network: Network,
+    domain: str,
+    pages: list[str] | None = None,
+    timeout: float = 20.0,
+) -> PushResult:
+    result = PushResult()
+    pages = pages or ["/"]
+    client = ScopeClient(
+        network, domain, enable_push=True, auto_window_update=True
+    )
+    if not client.establish_h2():
+        client.close()
+        return result
+
+    for page in pages:
+        stream_id = client.request(page)
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded)
+                and te.event.stream_id == stream_id
+                for te in client.events
+            ),
+            timeout=timeout,
+        )
+    # Allow promised streams to finish delivering.
+    client.settle(quiet_period=0.5, timeout=timeout)
+
+    for te in client.events_of(ev.PushPromiseReceived):
+        result.push_received = True
+        for name, value in te.event.headers:
+            if name == b":path":
+                result.promised_paths.append(value.decode("latin-1"))
+    client.close()
+    return result

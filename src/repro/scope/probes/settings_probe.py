@@ -1,0 +1,33 @@
+"""SETTINGS probe (§III-A2, results in §V-C / Tables V-VII / Fig. 2).
+
+Records exactly which parameters the server's SETTINGS frame announced.
+Sites that never send SETTINGS populate the paper's NULL rows; defined
+parameters left unannounced fall into the "default"/"unlimited" rows.
+"""
+
+from __future__ import annotations
+
+from repro.h2 import events as ev
+from repro.net.transport import Network
+from repro.scope.client import ScopeClient
+from repro.scope.report import SettingsResult
+
+
+def probe_settings(
+    network: Network, domain: str, timeout: float = 8.0
+) -> SettingsResult:
+    result = SettingsResult()
+    client = ScopeClient(network, domain)
+    if not client.establish_h2(timeout=timeout):
+        client.close()
+        return result
+
+    frames = client.events_of(ev.SettingsReceived)
+    if frames:
+        result.settings_frame_received = True
+        # Later frames may refine earlier announcements; last writer wins.
+        for timed in frames:
+            for identifier, value in timed.event.settings:
+                result.announced[identifier] = value
+    client.close()
+    return result

@@ -1,0 +1,157 @@
+"""Typed probe results and the per-site report.
+
+Verdict vocabularies match the paper's result categories so the
+analysis layer can build Tables III–VII and the Section V-D/E counters
+directly from these objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ErrorReaction(enum.Enum):
+    """How a server reacted to a provoked anomaly (Table III cells)."""
+
+    RST_STREAM = "RST_STREAM"
+    GOAWAY = "GOAWAY"
+    IGNORE = "ignore"
+    NO_RESPONSE = "no response"
+
+
+class TinyWindowResult(enum.Enum):
+    """§V-D1 categories for the Sframe=1 probe."""
+
+    WINDOW_SIZED_DATA = "window-sized DATA"
+    ZERO_LENGTH_DATA = "zero-length DATA"
+    NO_RESPONSE = "no response"
+
+
+@dataclass
+class NegotiationResult:
+    """§IV-A / §V-B: how (and whether) HTTP/2 was negotiated."""
+
+    tcp_connected: bool = False
+    alpn_h2: bool = False
+    npn_h2: bool = False
+    #: §IV-A's unencrypted path: HTTP/1.1 Upgrade: h2c accepted on
+    #: port 80 (None = no cleartext listener reachable).
+    h2c_upgrade: bool | None = None
+    headers_received: bool = False
+    server_header: str | None = None
+    tcp_handshake_rtt: float | None = None
+
+
+@dataclass
+class SettingsResult:
+    """§V-C: the server's announced SETTINGS.
+
+    ``announced`` preserves exactly what was in the SETTINGS frame;
+    parameters missing there are the paper's "unlimited"/default rows,
+    and ``settings_frame_received=False`` is the paper's NULL row.
+    """
+
+    settings_frame_received: bool = False
+    announced: dict[int, int] = field(default_factory=dict)
+
+    def value_or_null(self, identifier: int) -> int | None:
+        """The announced value, or None when no SETTINGS arrived."""
+        if not self.settings_frame_received:
+            return None
+        return self.announced.get(identifier)
+
+
+@dataclass
+class MultiplexingResult:
+    """§III-A1: did N parallel downloads interleave?"""
+
+    streams: int = 0
+    interleaved: bool = False
+    #: Sequence of stream ids in DATA-frame arrival order.
+    arrival_pattern: list[int] = field(default_factory=list)
+
+
+@dataclass
+class FlowControlResult:
+    """§III-B / §V-D: the four flow-control probes."""
+
+    #: Sframe probe: category plus the observed first-DATA size.
+    tiny_window: TinyWindowResult | None = None
+    first_data_size: int | None = None
+    #: Zero-initial-window probe: HEADERS with no DATA is compliant.
+    headers_with_zero_window: bool | None = None
+    #: Zero WINDOW_UPDATE reactions.
+    zero_update_stream: ErrorReaction | None = None
+    zero_update_connection: ErrorReaction | None = None
+    zero_update_debug_data: bytes = b""
+    #: Overflowing WINDOW_UPDATE reactions.
+    large_update_stream: ErrorReaction | None = None
+    large_update_connection: ErrorReaction | None = None
+
+
+@dataclass
+class PriorityResult:
+    """§III-C / §V-E: Algorithm 1 outcome and self-dependency."""
+
+    #: Orderings observed (stream label order by first/last DATA frame).
+    first_frame_order: list[str] = field(default_factory=list)
+    last_frame_order: list[str] = field(default_factory=list)
+    #: Rule checks, as in §V-E1.
+    follows_rules_by_last: bool = False
+    follows_rules_by_first: bool = False
+    follows_rules_by_both: bool = False
+    #: Table III row: did the server pass Algorithm 1 at all?
+    passes_algorithm1: bool = False
+    #: Whether HEADERS arrived while the connection window was zero
+    #: (§III-C1 notes some servers withhold even HEADERS).
+    headers_while_blocked: bool | None = None
+    self_dependency: ErrorReaction | None = None
+
+
+@dataclass
+class PushResult:
+    """§III-D / §V-F."""
+
+    push_received: bool = False
+    promised_paths: list[str] = field(default_factory=list)
+
+
+@dataclass
+class HpackResult:
+    """§III-E / §V-G: Eq. 1 compression ratio over H responses."""
+
+    requests: int = 0
+    header_sizes: list[int] = field(default_factory=list)
+    ratio: float | None = None
+
+
+@dataclass
+class PingResult:
+    """§III-F / §V-H: RTT by the four estimators."""
+
+    h2_ping_rtt: float | None = None
+    tcp_rtt: float | None = None
+    icmp_rtt: float | None = None
+    http1_rtt: float | None = None
+    ping_supported: bool = False
+
+
+@dataclass
+class SiteReport:
+    """Everything H2Scope learned about one site."""
+
+    domain: str = ""
+    negotiation: NegotiationResult = field(default_factory=NegotiationResult)
+    settings: SettingsResult = field(default_factory=SettingsResult)
+    multiplexing: MultiplexingResult | None = None
+    flow_control: FlowControlResult = field(default_factory=FlowControlResult)
+    priority: PriorityResult = field(default_factory=PriorityResult)
+    push: PushResult = field(default_factory=PushResult)
+    hpack: HpackResult = field(default_factory=HpackResult)
+    ping: PingResult = field(default_factory=PingResult)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def speaks_h2(self) -> bool:
+        return self.negotiation.alpn_h2 or self.negotiation.npn_h2

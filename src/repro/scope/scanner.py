@@ -1,0 +1,165 @@
+"""The population scanner (Section IV-B).
+
+The paper's H2Scope scans with a poll()-based event loop and a thread
+pool, one site per worker.  Here every site gets its own deterministic
+simulation universe (clock + network + deployed origin), which is the
+moral equivalent of the per-worker isolation while keeping results
+exactly reproducible.  The ``workers`` parameter is preserved for
+interface fidelity and for chunked progress reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.net.clock import Simulation
+from repro.net.transport import Network
+from repro.scope.probes import (
+    probe_hpack,
+    probe_large_window_update,
+    probe_negotiation,
+    probe_ping,
+    probe_priority,
+    probe_push,
+    probe_self_dependency,
+    probe_settings,
+    probe_tiny_window,
+    probe_zero_window_headers,
+    probe_zero_window_update,
+)
+from repro.scope.report import SiteReport
+from repro.servers.site import Site, deploy_site
+
+#: Probe groups a scan can include.
+ALL_PROBES = frozenset(
+    {"negotiation", "settings", "flow_control", "priority", "push", "hpack", "ping"}
+)
+
+#: Default object paths for Algorithm 1 against population sites; the
+#: generator guarantees these exist on every generated site.
+PRIORITY_TEST_PATHS = [f"/prio/{label}.bin" for label in "abcdef"]
+PRIORITY_DEPLETION_PATHS = [f"/prio/deplete{i}.bin" for i in range(4)]
+
+
+def scan_site(
+    site: Site,
+    include: Iterable[str] | None = None,
+    seed: int = 0,
+    priority_test_paths: list[str] | None = None,
+    priority_depletion_paths: list[str] | None = None,
+) -> SiteReport:
+    """Probe one site inside a fresh simulation universe."""
+    include_set = set(include) if include is not None else set(ALL_PROBES)
+    unknown = include_set - ALL_PROBES
+    if unknown:
+        raise ValueError(f"unknown probes: {sorted(unknown)}")
+
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    deploy_site(network, site)
+
+    report = SiteReport(domain=site.domain)
+
+    def guarded(name: str, fn: Callable[[], None]) -> None:
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - a scan must survive anything
+            report.errors.append(f"{name}: {type(exc).__name__}: {exc}")
+
+    if "negotiation" in include_set:
+        guarded(
+            "negotiation",
+            lambda: setattr(
+                report, "negotiation", probe_negotiation(network, site.domain)
+            ),
+        )
+        if not report.speaks_h2:
+            return report
+
+    if "settings" in include_set:
+        guarded(
+            "settings",
+            lambda: setattr(report, "settings", probe_settings(network, site.domain)),
+        )
+
+    if "flow_control" in include_set:
+
+        def run_flow_control() -> None:
+            fc = report.flow_control
+            fc.tiny_window, fc.first_data_size, _ = probe_tiny_window(
+                network, site.domain, sframe=1
+            )
+            fc.headers_with_zero_window = probe_zero_window_headers(
+                network, site.domain
+            )
+            fc.zero_update_stream, fc.zero_update_debug_data = (
+                probe_zero_window_update(network, site.domain, level="stream")
+            )
+            fc.zero_update_connection, _ = probe_zero_window_update(
+                network, site.domain, level="connection"
+            )
+            fc.large_update_stream = probe_large_window_update(
+                network, site.domain, level="stream"
+            )
+            fc.large_update_connection = probe_large_window_update(
+                network, site.domain, level="connection"
+            )
+
+        guarded("flow_control", run_flow_control)
+
+    if "priority" in include_set:
+
+        def run_priority() -> None:
+            test_paths = priority_test_paths or PRIORITY_TEST_PATHS
+            depletion = priority_depletion_paths or PRIORITY_DEPLETION_PATHS
+            if all(path in site.website for path in test_paths):
+                report.priority = probe_priority(
+                    network, site.domain, test_paths, depletion
+                )
+            report.priority.self_dependency = probe_self_dependency(
+                network, site.domain
+            )
+
+        guarded("priority", run_priority)
+
+    if "push" in include_set:
+        guarded(
+            "push",
+            lambda: setattr(report, "push", probe_push(network, site.domain)),
+        )
+
+    if "hpack" in include_set:
+        guarded(
+            "hpack",
+            lambda: setattr(report, "hpack", probe_hpack(network, site.domain)),
+        )
+
+    if "ping" in include_set:
+        guarded(
+            "ping",
+            lambda: setattr(report, "ping", probe_ping(network, site.domain)),
+        )
+
+    return report
+
+
+def scan_population(
+    sites: list[Site],
+    include: Iterable[str] | None = None,
+    seed: int = 0,
+    workers: int = 8,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[SiteReport]:
+    """Scan every site; ``workers`` sizes the progress-report chunks.
+
+    Sites are independent simulations, so ordering cannot affect
+    results; reports come back in input order.
+    """
+    reports: list[SiteReport] = []
+    for index, site in enumerate(sites):
+        reports.append(scan_site(site, include=include, seed=seed + index))
+        if progress is not None and (index + 1) % max(1, workers) == 0:
+            progress(index + 1, len(sites))
+    if progress is not None:
+        progress(len(sites), len(sites))
+    return reports

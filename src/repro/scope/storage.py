@@ -1,0 +1,204 @@
+"""Persistent storage for scan results (paper §IV-B).
+
+The paper's H2Scope stores every request/response "into a database for
+further study"; this module provides that layer: a SQLite-backed store
+for :class:`~repro.scope.report.SiteReport` objects with enough
+structure to re-run the Section-V analyses offline.
+
+Reports serialize to a JSON document plus indexed columns for the
+fields every analysis groups by (server family, h2 support, HEADERS
+receipt).  The store is append-friendly: scanning campaigns at
+different times into one database reproduces the paper's two-experiment
+longitudinal design.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+
+from repro.scope.report import (
+    ErrorReaction,
+    FlowControlResult,
+    HpackResult,
+    MultiplexingResult,
+    NegotiationResult,
+    PingResult,
+    PriorityResult,
+    PushResult,
+    SettingsResult,
+    SiteReport,
+    TinyWindowResult,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reports (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    server_header TEXT,
+    speaks_h2 INTEGER NOT NULL,
+    headers_received INTEGER NOT NULL,
+    hpack_ratio REAL,
+    document TEXT NOT NULL,
+    UNIQUE (campaign, domain)
+);
+CREATE INDEX IF NOT EXISTS idx_reports_campaign ON reports (campaign);
+CREATE INDEX IF NOT EXISTS idx_reports_server ON reports (server_header);
+"""
+
+
+def _encode(value):
+    """JSON-encode dataclasses/enums/bytes recursively."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, (ErrorReaction, TinyWindowResult)):
+        return {"__enum__": type(value).__name__, "value": value.name}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    return value
+
+
+_ENUMS = {"ErrorReaction": ErrorReaction, "TinyWindowResult": TinyWindowResult}
+
+
+def _decode(value):
+    if isinstance(value, dict):
+        if "__enum__" in value:
+            return _ENUMS[value["__enum__"]][value["value"]]
+        if "__bytes__" in value:
+            return bytes.fromhex(value["__bytes__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def _rebuild(cls, data: dict):
+    """Reconstruct a (possibly nested) report dataclass."""
+    kwargs = {}
+    for field in fields(cls):
+        if field.name not in data:
+            continue
+        raw = _decode(data[field.name])
+        nested = _NESTED.get((cls, field.name))
+        if nested is not None and raw is not None:
+            raw = _rebuild(nested, data[field.name])
+        kwargs[field.name] = raw
+    instance = cls(**kwargs)
+    if isinstance(instance, SettingsResult):
+        # JSON stringifies integer keys; restore the wire identifiers.
+        instance.announced = {int(k): v for k, v in instance.announced.items()}
+    return instance
+
+
+_NESTED = {
+    (SiteReport, "negotiation"): NegotiationResult,
+    (SiteReport, "settings"): SettingsResult,
+    (SiteReport, "multiplexing"): MultiplexingResult,
+    (SiteReport, "flow_control"): FlowControlResult,
+    (SiteReport, "priority"): PriorityResult,
+    (SiteReport, "push"): PushResult,
+    (SiteReport, "hpack"): HpackResult,
+    (SiteReport, "ping"): PingResult,
+}
+
+
+class ReportStore:
+    """A SQLite database of scan reports, grouped into campaigns."""
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ReportStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writing ----------------------------------------------------------
+
+    def save(self, campaign: str, report: SiteReport) -> None:
+        """Insert or replace one report."""
+        document = json.dumps(_encode(report))
+        settings_key = None
+        self._db.execute(
+            "INSERT OR REPLACE INTO reports "
+            "(campaign, domain, server_header, speaks_h2, headers_received, "
+            " hpack_ratio, document) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign,
+                report.domain,
+                report.negotiation.server_header,
+                int(report.speaks_h2),
+                int(report.negotiation.headers_received),
+                report.hpack.ratio,
+                document,
+            ),
+        )
+        self._db.commit()
+
+    def save_many(self, campaign: str, reports: list[SiteReport]) -> None:
+        for report in reports:
+            self.save(campaign, report)
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, campaign: str, domain: str) -> SiteReport | None:
+        row = self._db.execute(
+            "SELECT document FROM reports WHERE campaign = ? AND domain = ?",
+            (campaign, domain),
+        ).fetchone()
+        if row is None:
+            return None
+        return _rebuild(SiteReport, json.loads(row[0]))
+
+    def load_campaign(self, campaign: str) -> list[SiteReport]:
+        rows = self._db.execute(
+            "SELECT document FROM reports WHERE campaign = ? ORDER BY domain",
+            (campaign,),
+        ).fetchall()
+        return [_rebuild(SiteReport, json.loads(row[0])) for row in rows]
+
+    def campaigns(self) -> list[str]:
+        rows = self._db.execute(
+            "SELECT DISTINCT campaign FROM reports ORDER BY campaign"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    # -- aggregate queries (the §V groupings) ----------------------------------
+
+    def count(self, campaign: str, headers_only: bool = False) -> int:
+        query = "SELECT COUNT(*) FROM reports WHERE campaign = ?"
+        if headers_only:
+            query += " AND headers_received = 1"
+        return self._db.execute(query, (campaign,)).fetchone()[0]
+
+    def server_header_counts(self, campaign: str) -> dict[str, int]:
+        """Table IV's grouping, straight from the index columns."""
+        rows = self._db.execute(
+            "SELECT server_header, COUNT(*) FROM reports "
+            "WHERE campaign = ? AND headers_received = 1 "
+            "GROUP BY server_header ORDER BY COUNT(*) DESC",
+            (campaign,),
+        ).fetchall()
+        return {header or "(none)": count for header, count in rows}
+
+    def hpack_ratios(self, campaign: str) -> list[float]:
+        rows = self._db.execute(
+            "SELECT hpack_ratio FROM reports "
+            "WHERE campaign = ? AND hpack_ratio IS NOT NULL",
+            (campaign,),
+        ).fetchall()
+        return [row[0] for row in rows]

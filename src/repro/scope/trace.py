@@ -1,0 +1,145 @@
+"""Frame-trace rendering.
+
+H2Scope keeps a timestamped log of every frame sent and received
+(:attr:`~repro.scope.client.ScopeClient.frames`); this module renders
+those logs the way protocol people read them::
+
+    [  0.050] < SETTINGS  len=18  MAX_CONCURRENT_STREAMS=128 ...
+    [  0.051] > HEADERS   stream=1 end_stream end_headers  len=33
+    [  0.103] < DATA      stream=1  len=1  flow=1
+
+Useful when a probe's verdict needs auditing: the trace shows exactly
+which frames the server produced and when.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.h2.constants import ErrorCode, FrameFlag, SettingCode
+from repro.h2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    UnknownFrame,
+    WindowUpdateFrame,
+)
+
+
+def _error_name(code: int) -> str:
+    try:
+        return ErrorCode(code).name
+    except ValueError:
+        return f"0x{code:x}"
+
+
+def _setting_name(identifier: int) -> str:
+    try:
+        return SettingCode(identifier).name
+    except ValueError:
+        return f"0x{identifier:04x}"
+
+
+def _flag_names(frame: Frame) -> list[str]:
+    names = []
+    if isinstance(frame, (DataFrame, HeadersFrame)) and frame.has_flag(
+        FrameFlag.END_STREAM
+    ):
+        names.append("end_stream")
+    if isinstance(frame, (SettingsFrame, PingFrame)) and frame.has_flag(FrameFlag.ACK):
+        names.append("ack")
+    if isinstance(
+        frame, (HeadersFrame, PushPromiseFrame, ContinuationFrame)
+    ) and frame.has_flag(FrameFlag.END_HEADERS):
+        names.append("end_headers")
+    if frame.has_flag(FrameFlag.PADDED) and isinstance(
+        frame, (DataFrame, HeadersFrame, PushPromiseFrame)
+    ):
+        names.append("padded")
+    return names
+
+
+def describe_frame(frame: Frame) -> str:
+    """One-line human description of a frame."""
+    flags = " ".join(_flag_names(frame))
+    flags = f" {flags}" if flags else ""
+
+    if isinstance(frame, DataFrame):
+        return (
+            f"DATA          stream={frame.stream_id}{flags} "
+            f"len={len(frame.data)} flow={frame.flow_controlled_length}"
+        )
+    if isinstance(frame, HeadersFrame):
+        prio = ""
+        if frame.priority is not None:
+            prio = (
+                f" prio(dep={frame.priority.depends_on}"
+                f" w={frame.priority.weight}"
+                f"{' excl' if frame.priority.exclusive else ''})"
+            )
+        return (
+            f"HEADERS       stream={frame.stream_id}{flags}{prio} "
+            f"block={len(frame.header_block)}B"
+        )
+    if isinstance(frame, PriorityFrame):
+        p = frame.priority
+        return (
+            f"PRIORITY      stream={frame.stream_id} dep={p.depends_on} "
+            f"w={p.weight}{' excl' if p.exclusive else ''}"
+        )
+    if isinstance(frame, RstStreamFrame):
+        return (
+            f"RST_STREAM    stream={frame.stream_id} "
+            f"error={_error_name(frame.error_code)}"
+        )
+    if isinstance(frame, SettingsFrame):
+        if frame.is_ack:
+            return "SETTINGS      ack"
+        pairs = " ".join(
+            f"{_setting_name(i)}={v}" for i, v in frame.settings
+        )
+        return f"SETTINGS      {pairs or '(empty)'}"
+    if isinstance(frame, PushPromiseFrame):
+        return (
+            f"PUSH_PROMISE  stream={frame.stream_id}{flags} "
+            f"promised={frame.promised_stream_id}"
+        )
+    if isinstance(frame, PingFrame):
+        return f"PING          {frame.payload.hex()}{flags}"
+    if isinstance(frame, GoAwayFrame):
+        debug = f" debug={frame.debug_data!r}" if frame.debug_data else ""
+        return (
+            f"GOAWAY        last_stream={frame.last_stream_id} "
+            f"error={_error_name(frame.error_code)}{debug}"
+        )
+    if isinstance(frame, WindowUpdateFrame):
+        return (
+            f"WINDOW_UPDATE stream={frame.stream_id} "
+            f"increment={frame.window_increment}"
+        )
+    if isinstance(frame, ContinuationFrame):
+        return (
+            f"CONTINUATION  stream={frame.stream_id}{flags} "
+            f"block={len(frame.header_block)}B"
+        )
+    if isinstance(frame, UnknownFrame):
+        return (
+            f"UNKNOWN(0x{frame.type_code:02x}) stream={frame.stream_id} "
+            f"len={len(frame.payload)}"
+        )
+    return repr(frame)  # pragma: no cover - exhaustive above
+
+
+def render_trace(timed_frames: Iterable, direction: str = "<") -> str:
+    """Render a list of :class:`~repro.scope.client.TimedFrame` objects."""
+    lines = []
+    for timed in timed_frames:
+        lines.append(f"[{timed.at:9.4f}] {direction} {describe_frame(timed.frame)}")
+    return "\n".join(lines) + ("\n" if lines else "")

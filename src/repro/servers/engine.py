@@ -1,0 +1,779 @@
+"""The HTTP/2 server engine.
+
+One engine serves every vendor: it is a *real* HTTP/2 server — it
+parses actual bytes with :mod:`repro.h2`, maintains stream state, obeys
+(or deliberately bends) flow control, schedules DATA frames, pushes,
+and compresses headers — while a :class:`~repro.servers.profiles.
+ServerProfile` decides every behaviour the paper found to differ
+between implementations.
+
+Connection lifecycle::
+
+    TCP accept -> TLS hello exchange (ALPN/NPN) -> h2 | http/1.1
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+from dataclasses import dataclass, field
+
+from repro.h2 import events as ev
+from repro.h2.connection import ConnectionConfig, H2Connection, Side
+from repro.h2.constants import ErrorCode, SettingCode
+from repro.h2.errors import H2ConnectionError, H2Error, H2StreamError
+from repro.net.clock import Simulation
+from repro.net.tls import (
+    H2,
+    HTTP11,
+    TlsServerConfig,
+    decode_client_hello,
+    encode_server_hello,
+    negotiate_alpn,
+)
+from repro.net.transport import Endpoint, Host
+from repro.servers.profiles import ServerProfile, TinyWindowBehavior
+from repro.servers.website import Resource, Website
+
+#: Streams with less available window than this are "tiny" (§V-D1).
+TINY_WINDOW_THRESHOLD = 16
+#: Upper bound on a single DATA chunk, so that concurrent streams
+#: interleave even when windows and MAX_FRAME_SIZE are huge.
+CHUNK_LIMIT = 16_384
+
+
+@dataclass
+class _ResponseTask:
+    """One response (or push) being delivered on a stream."""
+
+    stream_id: int
+    headers: list[tuple[str, str]]
+    body: bytes
+    offset: int = 0
+    headers_sent: bool = False
+    sent_empty_probe: bool = False
+    credit: float = 0.0
+    arrival_index: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.body) - self.offset
+
+    @property
+    def finished(self) -> bool:
+        return self.headers_sent and self.remaining == 0
+
+
+class H2Server:
+    """A simulated origin server speaking HTTP/2 and HTTP/1.1."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        profile: ServerProfile,
+        website: Website,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.website = website
+        self.seed = seed
+        self.tls = self._make_tls_config()
+        self.connections: list[_ServerConnection] = []
+        #: Learned push state (§VI point 4): for each page, how often
+        #: each resource was requested right after it.
+        self.follow_counts: dict[str, dict[str, int]] = {}
+
+    def record_follow(self, page: str, follower: str) -> None:
+        """Learn that ``follower`` was requested after ``page``."""
+        counts = self.follow_counts.setdefault(page, {})
+        counts[follower] = counts.get(follower, 0) + 1
+
+    def learned_push_list(self, page: str) -> list[str]:
+        """Most-requested followers of ``page``, most frequent first."""
+        counts = self.follow_counts.get(page, {})
+        ranked = sorted(counts, key=lambda path: (-counts[path], path))
+        return ranked[: self.profile.learned_push_limit]
+
+    def _make_tls_config(self) -> TlsServerConfig:
+        protos = [H2, HTTP11] if self.profile.supports_h2 else [HTTP11]
+        return TlsServerConfig(
+            alpn_protocols=protos if self.profile.supports_alpn else None,
+            npn_protocols=protos if self.profile.supports_npn else None,
+        )
+
+    def install(self, host: Host, port: int = 443, tls: bool = True) -> None:
+        """Listen on ``port``; ``tls=False`` serves cleartext HTTP/1.1
+        (with Upgrade: h2c if the profile supports it)."""
+        if tls:
+            host.listen(port, self._accept_tls)
+        else:
+            host.listen(port, self._accept_clear)
+
+    def _accept_tls(self, endpoint: Endpoint) -> None:
+        conn = _ServerConnection(self, endpoint, index=len(self.connections))
+        self.connections.append(conn)
+
+    def _accept_clear(self, endpoint: Endpoint) -> None:
+        conn = _ServerConnection(
+            self, endpoint, index=len(self.connections), tls=False
+        )
+        self.connections.append(conn)
+
+    @property
+    def pending_response_bytes(self) -> int:
+        """Memory pinned by buffered responses across all connections."""
+        return sum(conn.pending_response_bytes for conn in self.connections)
+
+    @property
+    def hpack_table_bytes(self) -> int:
+        """HPACK dynamic-table memory across all connections (both the
+        encoder table, whose limit the *peer* influences, and the
+        decoder table, bounded by our own SETTINGS_HEADER_TABLE_SIZE)."""
+        total = 0
+        for conn in self.connections:
+            if conn.conn is not None:
+                total += conn.conn.encoder.table.size
+                total += conn.conn.decoder.table.size
+        return total
+
+
+class _ServerConnection:
+    """State of one accepted connection."""
+
+    def __init__(
+        self,
+        server: H2Server,
+        endpoint: Endpoint,
+        index: int = 0,
+        tls: bool = True,
+    ):
+        self.server = server
+        self.sim = server.sim
+        self.profile = server.profile
+        self.endpoint = endpoint
+        self.mode = "hello" if tls else "http1"
+        self._buffer = b""
+        self.conn: H2Connection | None = None
+        self._tasks: dict[int, _ResponseTask] = {}
+        #: Streams whose request was accepted and whose response is not
+        #: yet fully delivered — the MAX_CONCURRENT_STREAMS population.
+        self._active_requests: set[int] = set()
+        self._arrival_counter = 0
+        self._rr_last_arrival = 0
+        self._page_path: str | None = None
+        self._rng = random.Random(hash((server.seed, index, 0x5EED)))
+        endpoint.on_data = self._on_data
+        endpoint.on_close = self._on_close
+        pending = endpoint.drain()
+        if pending:
+            self._on_data(pending)
+
+    # ------------------------------------------------------------------
+    # TLS hello
+    # ------------------------------------------------------------------
+
+    def _on_data(self, data: bytes) -> None:
+        if self.mode == "hello":
+            self._buffer += data
+            if b"\n" not in self._buffer:
+                return
+            line, _, rest = self._buffer.partition(b"\n")
+            self._buffer = b""
+            self._handle_hello(line + b"\n")
+            if rest:
+                self._on_data(rest)
+        elif self.mode == "h2":
+            self._feed_h2(data)
+        elif self.mode == "http1":
+            self._feed_http1(data)
+
+    def _handle_hello(self, line: bytes) -> None:
+        try:
+            client_alpn, npn_offered = decode_client_hello(line)
+        except ValueError:
+            self.endpoint.close()
+            return
+        tls = self.server.tls
+        alpn_choice = negotiate_alpn(client_alpn, tls) if client_alpn else None
+        npn_list = tls.npn_protocols if npn_offered else None
+        self.endpoint.send(encode_server_hello(alpn_choice, npn_list))
+
+        # The client's NPN selection mirrors ours: it picks the first of
+        # its preferences we advertise.  We anticipate the result so we
+        # know which protocol engine to attach.
+        chosen = alpn_choice
+        if chosen is None and npn_list:
+            for proto in client_alpn or [H2, HTTP11]:
+                if proto in npn_list:
+                    chosen = proto
+                    break
+        if chosen == H2 and self.profile.supports_h2:
+            self._start_h2()
+        else:
+            self.mode = "http1"
+
+    # ------------------------------------------------------------------
+    # HTTP/2
+    # ------------------------------------------------------------------
+
+    def _start_h2(self) -> None:
+        self.mode = "h2"
+        profile = self.profile
+        if profile.h2_unresponsive:
+            # Negotiates h2 and then goes mute: no SETTINGS, no
+            # responses.  §V-B's negotiation-vs-HEADERS gap.
+            self.mode = "h2-mute"
+            return
+        settings = dict(profile.settings)
+        config = ConnectionConfig(
+            side=Side.SERVER,
+            strict=True,
+            auto_settings_ack=True,
+            auto_ping_ack=False,  # handled on the timed fast path below
+            auto_window_update=True,
+            on_zero_window_update_stream=profile.on_zero_window_update_stream,
+            on_zero_window_update_connection=profile.on_zero_window_update_connection,
+            on_window_overflow_stream=profile.on_window_overflow_stream,
+            on_window_overflow_connection=profile.on_window_overflow_connection,
+            on_self_dependency=profile.on_self_dependency,
+            max_tracked_priority_streams=profile.max_tracked_priority_streams,
+            zero_window_update_debug=profile.zero_window_update_debug,
+            hpack_send_policy=profile.indexing_policy,
+            hpack_huffman=profile.hpack_huffman,
+            initial_settings=settings,
+            max_peer_header_table_size=profile.max_peer_header_table_size,
+        )
+        self.conn = H2Connection(config)
+        self.conn.initiate(send_settings=profile.send_settings_frame)
+        if profile.announce_zero_then_window_update:
+            # Nginx quirk (§V-C): announce INITIAL_WINDOW_SIZE 0, then
+            # immediately re-open the connection window; per-stream
+            # windows are granted as streams arrive.
+            self.conn.send_window_update(0, profile.window_update_grant)
+        self._flush()
+
+    def _feed_h2(self, data: bytes) -> None:
+        assert self.conn is not None
+        try:
+            events = self.conn.receive_bytes(data)
+        except H2StreamError as exc:
+            self.conn.send_rst_stream(exc.stream_id, exc.error_code)
+            self._flush()
+            return
+        except H2Error as exc:
+            # Anything else protocol-fatal (including flow-control
+            # violations surfacing from the receive path) tears the
+            # connection down; a serving process must never crash.
+            if not self.conn.terminated:
+                self.conn.send_goaway(exc.error_code)
+            self._flush()
+            return
+        for event in events:
+            self._handle_event(event)
+        self._pump()
+        self._flush()
+
+    def _handle_event(self, event: ev.Event) -> None:
+        assert self.conn is not None
+        if isinstance(event, ev.HeadersReceived):
+            self._handle_request(event)
+        elif isinstance(event, ev.PingReceived):
+            self.sim.call_later(self.profile.ping_delay, self._ping_ack, event.payload)
+        elif isinstance(event, ev.StreamReset):
+            self._tasks.pop(event.stream_id, None)
+            self._active_requests.discard(event.stream_id)
+        elif isinstance(event, ev.SettingsReceived):
+            self._enforce_window_lower_bound(event)
+        elif isinstance(
+            event, (ev.WindowUpdateReceived, ev.PriorityReceived)
+        ):
+            pass  # window or priority state changed; _pump() runs after events.
+        elif isinstance(event, ev.GoAwayReceived):
+            self._tasks.clear()
+
+    def _enforce_window_lower_bound(self, event: ev.SettingsReceived) -> None:
+        """The Discussion's proposed slow-read defence: refuse abusive
+        SETTINGS_INITIAL_WINDOW_SIZE announcements outright."""
+        bound = self.profile.min_accepted_initial_window
+        if not bound or self.conn is None:
+            return
+        for identifier, value in event.settings:
+            if identifier == int(SettingCode.INITIAL_WINDOW_SIZE) and value < bound:
+                self.conn.send_goaway(
+                    int(ErrorCode.ENHANCE_YOUR_CALM),
+                    debug_data=b"initial window below server policy",
+                )
+                self._tasks.clear()
+                self._active_requests.clear()
+                return
+
+    @property
+    def pending_response_bytes(self) -> int:
+        """Response bytes buffered awaiting flow-control window — the
+        memory a slow-read attacker pins (§V-D1's DoS observation)."""
+        return sum(task.remaining for task in self._tasks.values())
+
+    def _ping_ack(self, payload: bytes) -> None:
+        if self.conn is None or self.endpoint.closed:
+            return
+        self.conn.send_ping(payload, ack=True)
+        self._flush()
+
+    # -- request handling -------------------------------------------------
+
+    def _handle_request(self, event: ev.HeadersReceived) -> None:
+        assert self.conn is not None
+        if self.conn.terminated:
+            return
+        profile = self.profile
+
+        if profile.announce_zero_then_window_update:
+            announced = profile.settings.get(int(SettingCode.INITIAL_WINDOW_SIZE))
+            if announced == 0:
+                self.conn.send_window_update(
+                    event.stream_id, profile.window_update_grant
+                )
+
+        if profile.enforce_max_concurrent:
+            limit = self.conn.local_settings.max_concurrent_streams
+            if limit is not None and len(self._active_requests) + 1 > limit:
+                self.conn.send_rst_stream(
+                    event.stream_id, int(ErrorCode.REFUSED_STREAM)
+                )
+                return
+        self._active_requests.add(event.stream_id)
+
+        headers = {name: value for name, value in event.headers}
+        path = headers.get(b":path", b"/").decode("latin-1")
+
+        # Learned-push bookkeeping (§VI point 4): the connection's first
+        # request is "the page"; later requests are its followers.
+        if getattr(self, "_page_path", None) is None:
+            self._page_path = path
+        else:
+            self.server.record_follow(self._page_path, path)
+
+        resource = self.server.website.get(path)
+        delay = max(
+            0.0005,
+            self._rng.gauss(profile.processing_delay, profile.processing_jitter),
+        )
+        self.sim.call_later(delay, self._respond, event.stream_id, resource, path)
+
+    def _respond(
+        self, stream_id: int, resource: Resource | None, path: str = "/"
+    ) -> None:
+        conn = self.conn
+        if conn is None or self.endpoint.closed or conn.terminated:
+            return
+        stream = conn.streams.get(stream_id)
+        if stream is None or stream.closed:
+            return
+        profile = self.profile
+
+        if resource is None:
+            self._enqueue(stream_id, self._response_headers("404", None), b"")
+        else:
+            if profile.supports_push and conn.remote_settings.enable_push:
+                push_list = self._push_list(resource, path)
+                if push_list:
+                    self._push_resources(stream_id, push_list)
+            self._enqueue(
+                stream_id,
+                self._response_headers("200", resource),
+                resource.body(),
+            )
+        self._pump()
+        self._flush()
+
+    def _push_list(self, resource: Resource, path: str) -> list[str]:
+        """Resolve the push manifest for one response per push policy."""
+        if self.profile.push_policy == "learned":
+            return self.server.learned_push_list(path)
+        return list(resource.push)
+
+    def _push_resources(
+        self, parent_stream_id: int, push_paths: list[str]
+    ) -> None:
+        assert self.conn is not None
+        for push_path in push_paths:
+            pushed = self.server.website.get(push_path)
+            if pushed is None:
+                continue
+            request_headers = [
+                (":method", "GET"),
+                (":scheme", "https"),
+                (":path", push_path),
+                (":authority", "localhost"),
+            ]
+            try:
+                promised_id = self.conn.send_push_promise(
+                    parent_stream_id, request_headers
+                )
+            except H2ConnectionError:
+                return
+            # RFC 7540 §5.3.5: a pushed stream initially depends on its
+            # associated stream — so the page itself is never starved by
+            # its own pushes under a priority-respecting scheduler.
+            if promised_id not in self.conn.priority_tree:
+                self.conn.priority_tree.insert(
+                    promised_id, depends_on=parent_stream_id
+                )
+            self._enqueue(
+                promised_id, self._response_headers("200", pushed), pushed.body()
+            )
+
+    def _response_headers(
+        self, status: str, resource: Resource | None
+    ) -> list[tuple[str, str]]:
+        headers = [
+            (":status", status),
+            ("server", self.profile.server_header),
+            ("date", "Mon, 04 Jul 2016 12:00:00 GMT"),
+        ]
+        if resource is not None:
+            headers.append(("content-type", resource.content_type))
+            headers.append(("content-length", str(resource.size)))
+            headers.append(("cache-control", "max-age=3600"))
+            headers.extend(resource.extra_headers)
+        else:
+            headers.append(("content-length", "0"))
+        if self.profile.new_cookie_each_response:
+            # §V-G: these sites insert fresh cookies into the 2nd..Hth
+            # responses, making S_1 < S_i and the Eq. 1 ratio exceed 1.
+            self._cookie_counter = getattr(self, "_cookie_counter", 0) + 1
+            if self._cookie_counter >= 2:
+                token = "".join(
+                    f"{self._rng.getrandbits(64):016x}" for _ in range(10)
+                )
+                headers.append(
+                    (
+                        "set-cookie",
+                        f"visit={self._cookie_counter:08d}; sid={token}; Path=/",
+                    )
+                )
+        if (
+            self.profile.response_header_noise
+            and self._rng.random() < self.profile.response_header_noise
+        ):
+            # A unique, unindexable value (request ids, trace tokens):
+            # keeps repeated header blocks from collapsing to indices.
+            headers.append(("x-request-id", f"{self._rng.getrandbits(96):024x}"))
+        return headers
+
+    def _enqueue(
+        self, stream_id: int, headers: list[tuple[str, str]], body: bytes
+    ) -> None:
+        # FCFS order is *request* order (stream ids are monotonic per
+        # RFC 7540 §5.1.1), not response-generation order: a FCFS server
+        # drains its accept queue in the order requests arrived, which
+        # is what makes it deterministically fail Algorithm 1 rather
+        # than passing by a lucky permutation.
+        self._arrival_counter += 1
+        self._tasks[stream_id] = _ResponseTask(
+            stream_id=stream_id,
+            headers=headers,
+            body=body,
+            arrival_index=stream_id,
+        )
+
+    # ------------------------------------------------------------------
+    # The send scheduler
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Send whatever flow control and the scheduler allow right now."""
+        conn = self.conn
+        if conn is None or self.endpoint.closed:
+            return
+        profile = self.profile
+
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._send_ready_headers()
+
+            ready = self._data_ready_streams()
+            if not ready:
+                break
+            sid = self._schedule(ready)
+            if sid is None:
+                break
+            if self._send_chunk(self._tasks[sid]):
+                progress = True
+
+        for sid in [s for s, t in self._tasks.items() if t.finished]:
+            del self._tasks[sid]
+            self._active_requests.discard(sid)
+
+    def _send_ready_headers(self) -> bool:
+        conn = self.conn
+        assert conn is not None
+        profile = self.profile
+        sent_any = False
+        for task in sorted(self._tasks.values(), key=lambda t: t.arrival_index):
+            if task.headers_sent:
+                continue
+            stream = conn.streams.get(task.stream_id)
+            if stream is None or stream.closed:
+                continue
+            if profile.flow_control_on_headers and task.body:
+                # Misapplied flow control: HEADERS wait for windows the
+                # RFC says do not govern them.  The threshold separates
+                # the common zero-window variant from LiteSpeed's
+                # stricter one (§V-D1 vs §V-D2).
+                needed = min(profile.headers_hold_threshold, len(task.body))
+                if (
+                    stream.outbound_window.available < needed
+                    or conn.outbound_window.available <= 0
+                ):
+                    continue
+            conn.send_headers(
+                task.stream_id,
+                task.headers,
+                end_stream=not task.body,
+            )
+            task.headers_sent = True
+            sent_any = True
+        return sent_any
+
+    def _data_ready_streams(self) -> set[int]:
+        conn = self.conn
+        assert conn is not None
+        ready = set()
+        for sid, task in self._tasks.items():
+            if not task.headers_sent or task.remaining == 0:
+                continue
+            stream = conn.streams.get(sid)
+            if stream is None or not stream.can_send:
+                continue
+            ready.add(sid)
+        return ready
+
+    def _schedule(self, ready: set[int]) -> int | None:
+        """Pick the next stream to send a DATA chunk on.
+
+        Priority servers run weighted fair sharing over the dependency
+        tree (ready ancestors shadow descendants).  Servers that ignore
+        priority round-robin over the ready streams in arrival order —
+        they still *multiplex* (Table III says all six do) but pay no
+        attention to the dependency tree, which is exactly what makes
+        them fail Algorithm 1.  Either way a stream without usable
+        window is skipped — the disturbance Algorithm 1's context
+        preparation must defeat.
+        """
+        conn = self.conn
+        assert conn is not None
+        if conn.outbound_window.available <= 0:
+            return None
+
+        mode = self.profile.scheduler_mode
+        if mode == "wfq":
+            # A soft-WFQ server flushes each response's *first* chunk in
+            # arrival order (the write buffered when the response was
+            # generated) before weighted sharing takes over.  This is
+            # what makes such sites satisfy §V-E1's rules by last DATA
+            # frame while failing them by first DATA frame.
+            unstarted = sorted(
+                (sid for sid in ready if self._tasks[sid].offset == 0),
+                key=lambda sid: self._tasks[sid].arrival_index,
+            )
+            for sid in unstarted:
+                if self._sendable(sid):
+                    return sid
+        if mode in ("strict", "wfq"):
+            shares = conn.priority_tree.allocation(
+                ready, shadowing=(mode == "strict")
+            )
+            for sid in ready:
+                self._tasks[sid].credit += shares.get(sid, 0.0)
+            candidates = sorted(
+                ready,
+                key=lambda sid: (-self._tasks[sid].credit, sid),
+            )
+        else:
+            by_arrival = sorted(
+                ready, key=lambda sid: self._tasks[sid].arrival_index
+            )
+            after = [
+                sid
+                for sid in by_arrival
+                if self._tasks[sid].arrival_index > self._rr_last_arrival
+            ]
+            before = [sid for sid in by_arrival if sid not in after]
+            candidates = after + before
+
+        for sid in candidates:
+            if self._sendable(sid):
+                if mode == "fcfs":
+                    self._rr_last_arrival = self._tasks[sid].arrival_index
+                return sid
+        return None
+
+    def _sendable(self, sid: int) -> bool:
+        conn = self.conn
+        assert conn is not None
+        stream = conn.streams.get(sid)
+        if stream is None:
+            return False
+        available = stream.outbound_window.available
+        if available <= 0:
+            return self.profile.tiny_window_behavior is TinyWindowBehavior.SEND_EMPTY
+        if (
+            available < TINY_WINDOW_THRESHOLD
+            and self.profile.tiny_window_behavior is TinyWindowBehavior.SILENT
+        ):
+            return False
+        return True
+
+    def _send_chunk(self, task: _ResponseTask) -> bool:
+        conn = self.conn
+        assert conn is not None
+        stream = conn.streams.get(task.stream_id)
+        if stream is None:
+            return False
+
+        stream_avail = stream.outbound_window.available
+        conn_avail = conn.outbound_window.available
+        behavior = self.profile.tiny_window_behavior
+
+        if stream_avail <= 0 or conn_avail <= 0:
+            if behavior is TinyWindowBehavior.SEND_EMPTY and not task.sent_empty_probe:
+                conn.send_data(task.stream_id, b"", end_stream=False)
+                task.sent_empty_probe = True
+                if self.profile.scheduler_mode != "fcfs":
+                    task.credit -= 1.0
+                return False
+            return False
+
+        chunk_len = min(
+            task.remaining,
+            stream_avail,
+            conn_avail,
+            conn.remote_settings.max_frame_size,
+            CHUNK_LIMIT,
+        )
+        if (
+            chunk_len < min(TINY_WINDOW_THRESHOLD, task.remaining)
+            and behavior is TinyWindowBehavior.SEND_EMPTY
+            and not task.sent_empty_probe
+        ):
+            conn.send_data(task.stream_id, b"", end_stream=False)
+            task.sent_empty_probe = True
+            return False
+
+        chunk = task.body[task.offset : task.offset + chunk_len]
+        end = task.offset + chunk_len >= len(task.body)
+        conn.send_data(task.stream_id, chunk, end_stream=end)
+        task.offset += chunk_len
+        if self.profile.scheduler_mode != "fcfs":
+            task.credit -= 1.0
+        # One transport write per DATA frame: the wire then carries the
+        # scheduler's interleaving with per-chunk timing, instead of one
+        # indivisible burst.
+        self._flush()
+        return True
+
+    # ------------------------------------------------------------------
+    # HTTP/1.1
+    # ------------------------------------------------------------------
+
+    def _feed_http1(self, data: bytes) -> None:
+        self._buffer += data
+        while b"\r\n\r\n" in self._buffer:
+            raw, _, self._buffer = self._buffer.partition(b"\r\n\r\n")
+            self._handle_http1_request(raw)
+
+    def _handle_http1_request(self, raw: bytes) -> None:
+        lines = raw.split(b"\r\n")
+        if not lines or not lines[0]:
+            return
+        parts = lines[0].split()
+        path = parts[1].decode("latin-1") if len(parts) >= 2 else "/"
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(b":")
+            headers[name.strip().lower()] = value.strip()
+
+        upgrade_tokens = {
+            token.strip().lower()
+            for token in headers.get(b"upgrade", b"").split(b",")
+        }
+        if b"h2c" in upgrade_tokens and self.profile.supports_h2c:
+            self._upgrade_to_h2c(path, headers.get(b"http2-settings", b""))
+            return
+
+        resource = self.server.website.get(path)
+        delay = max(
+            0.0005,
+            self._rng.gauss(
+                self.profile.processing_delay, self.profile.processing_jitter
+            ),
+        )
+        self.sim.call_later(delay, self._respond_http1, resource)
+
+    def _upgrade_to_h2c(self, path: str, settings_token: bytes) -> None:
+        """RFC 7540 §3.2: 101 Switching Protocols, then HTTP/2 frames.
+
+        The upgrading request becomes stream 1 (half-closed remote) and
+        the response to it is sent as HTTP/2.
+        """
+        self.endpoint.send(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Connection: Upgrade\r\n"
+            b"Upgrade: h2c\r\n\r\n"
+        )
+        self._start_h2()
+        assert self.conn is not None
+        # Apply the client's HTTP2-Settings header (a base64url-encoded
+        # SETTINGS payload) as its initial settings.
+        if settings_token:
+            try:
+                padded = settings_token + b"=" * (-len(settings_token) % 4)
+                payload = base64.urlsafe_b64decode(padded)
+                for offset in range(0, len(payload) - len(payload) % 6, 6):
+                    identifier = int.from_bytes(payload[offset : offset + 2], "big")
+                    value = int.from_bytes(payload[offset + 2 : offset + 6], "big")
+                    self.conn._apply_remote_setting(identifier, value)
+            except (ValueError, H2ConnectionError):
+                pass
+        self.conn.upgrade_stream()
+        resource = self.server.website.get(path)
+        delay = max(
+            0.0005,
+            self._rng.gauss(
+                self.profile.processing_delay, self.profile.processing_jitter
+            ),
+        )
+        self.sim.call_later(delay, self._respond, 1, resource, path)
+        self._flush()
+
+    def _respond_http1(self, resource: Resource | None) -> None:
+        if self.endpoint.closed:
+            return
+        if resource is None:
+            status, body = "404 Not Found", b""
+        else:
+            status, body = "200 OK", resource.body()
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Server: {self.profile.server_header}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode()
+        self.endpoint.send(head + body)
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self.conn is None or self.endpoint.closed:
+            return
+        data = self.conn.data_to_send()
+        if data:
+            self.endpoint.send(data)
+
+    def _on_close(self) -> None:
+        self._tasks.clear()

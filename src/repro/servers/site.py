@@ -1,0 +1,50 @@
+"""Site = domain + server profile + content + path characteristics.
+
+This is the unit the population generator emits and the scanner
+consumes: everything needed to deploy one origin onto the simulated
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.transport import LinkProfile, Network
+from repro.servers.engine import H2Server
+from repro.servers.profiles import ServerProfile
+from repro.servers.website import Website, default_website
+
+
+@dataclass
+class Site:
+    """One deployable origin."""
+
+    domain: str
+    profile: ServerProfile
+    website: Website = field(default_factory=default_website)
+    link: LinkProfile = field(default_factory=LinkProfile)
+    #: Ground-truth annotations the population generator sets so that
+    #: tests can compare planted truth with scanned observations.
+    truth: dict = field(default_factory=dict)
+
+
+def deploy_site(
+    network: Network, site: Site, port: int = 443, clear_port: int | None = 80
+) -> H2Server:
+    """Create the site's host and attach an engine; returns the server.
+
+    The TLS listener goes on ``port``; a cleartext HTTP/1.1 listener
+    (serving Upgrade: h2c when the profile supports it) goes on
+    ``clear_port`` unless that is None.
+    """
+    host = network.add_host(site.domain, site.link)
+    server = H2Server(
+        network.sim,
+        site.profile,
+        site.website,
+        seed=hash((network.seed, site.domain)) & 0xFFFFFFFF,
+    )
+    server.install(host, port, tls=True)
+    if clear_port is not None:
+        server.install(host, clear_port, tls=False)
+    return server

@@ -1,0 +1,86 @@
+"""Empirical CDF math and the ASCII renderer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import Cdf, render_cdf_ascii
+
+
+class TestCdf:
+    def test_at_basic(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_at_with_duplicates(self):
+        cdf = Cdf([1, 1, 1, 5])
+        assert cdf.at(1) == 0.75
+        assert cdf.at(4.99) == 0.75
+
+    def test_fraction_below_is_strict(self):
+        cdf = Cdf([1, 1, 2])
+        assert cdf.fraction_below(1) == 0.0
+        assert cdf.fraction_below(2) == pytest.approx(2 / 3)
+
+    def test_quantiles(self):
+        cdf = Cdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(1.0) == 100
+        assert cdf.median == 50
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Cdf([1]).quantile(1.5)
+        with pytest.raises(ValueError):
+            Cdf([]).quantile(0.5)
+
+    def test_empty_cdf_at(self):
+        assert Cdf([]).at(10) == 0.0
+
+    def test_values_sorted_on_init(self):
+        cdf = Cdf([3, 1, 2])
+        assert cdf.values == [1, 2, 3]
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_monotone_nondecreasing(self, values):
+        cdf = Cdf(values)
+        points = sorted(set(values))
+        results = [cdf.at(p) for p in points]
+        assert results == sorted(results)
+        assert results[-1] == 1.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_quantile_inverts_at(self, values):
+        cdf = Cdf(values)
+        for q in (0.1, 0.5, 0.9):
+            x = cdf.quantile(q)
+            assert cdf.at(x) >= q - 1 / len(values) - 1e-9
+
+
+class TestRenderer:
+    def test_renders_all_series_markers(self):
+        out = render_cdf_ascii({"alpha": [1, 2, 3], "beta": [2, 3, 4]})
+        assert "*=alpha" in out
+        assert "o=beta" in out
+
+    def test_empty_series_skipped(self):
+        out = render_cdf_ascii({"alpha": [1, 2], "empty": []})
+        assert "empty" not in out
+
+    def test_no_data_placeholder(self):
+        assert render_cdf_ascii({}) == "(no data)\n"
+
+    def test_log_scale_axis(self):
+        out = render_cdf_ascii({"s": [1, 10, 100]}, log_x=True, x_label="streams")
+        assert "[log scale]" in out
+
+    def test_explicit_bounds_in_axis(self):
+        out = render_cdf_ascii({"s": [5]}, x_min=0, x_max=400)
+        assert "400" in out
+
+    def test_constant_series_renders(self):
+        out = render_cdf_ascii({"s": [7, 7, 7]})
+        assert "*" in out

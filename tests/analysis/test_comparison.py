@@ -1,0 +1,104 @@
+"""Distribution-agreement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.comparison import (
+    chi_square_statistic,
+    relative_error,
+    total_variation_distance,
+)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        counts = {"a": 10, "b": 30}
+        assert total_variation_distance(counts, counts) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({"a": 5}, {"b": 7}) == 1.0
+
+    def test_scale_invariant(self):
+        paper = {"a": 100, "b": 300}
+        measured = {"a": 1, "b": 3}
+        assert total_variation_distance(paper, measured) == pytest.approx(0.0)
+
+    def test_partial_shift(self):
+        assert total_variation_distance(
+            {"a": 50, "b": 50}, {"a": 75, "b": 25}
+        ) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance({}, {"a": 1})
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"), st.integers(1, 100), min_size=1
+        ),
+        st.dictionaries(
+            st.sampled_from("abcdef"), st.integers(1, 100), min_size=1
+        ),
+    )
+    def test_bounds_and_symmetry(self, p, q):
+        d = total_variation_distance(p, q)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(total_variation_distance(q, p))
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_signed(self):
+        assert relative_error(100, 110) == pytest.approx(0.1)
+        assert relative_error(100, 90) == pytest.approx(-0.1)
+
+    def test_zero_paper(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == float("inf")
+
+
+class TestChiSquare:
+    def test_perfect_fit_is_zero(self):
+        paper = {"a": 200, "b": 600}
+        measured = {"a": 25, "b": 75}
+        assert chi_square_statistic(paper, measured) == pytest.approx(0.0)
+
+    def test_misfit_grows(self):
+        paper = {"a": 500, "b": 500}
+        close = chi_square_statistic(paper, {"a": 48, "b": 52})
+        far = chi_square_statistic(paper, {"a": 20, "b": 80})
+        assert far > close
+
+    def test_small_expectations_pooled(self):
+        # A bucket expected at 0.04 sites must not blow up the statistic.
+        paper = {"common": 10_000, "rare": 1}
+        measured = {"common": 40, "rare": 0}
+        assert chi_square_statistic(paper, measured) < 1.0
+
+
+class TestPopulationAgreement:
+    """The generator's planted tables must be statistically close to the
+    paper's — quantified, not eyeballed."""
+
+    def test_table5_tv_distance_small(self):
+        from repro.experiments import settings_tables
+        from repro.population.distributions import EXPERIMENT_1
+
+        result = settings_tables.run(experiment=1, n_sites=250, seed=23)
+        measured = {
+            (None if k == "NULL" else k): v for k, v in result.data["iws"].items()
+        }
+        paper = dict(EXPERIMENT_1.iws_counts)
+        assert total_variation_distance(paper, measured) < 0.08
+
+    def test_table6_tv_distance_small(self):
+        from repro.experiments import settings_tables
+        from repro.population.distributions import EXPERIMENT_1
+
+        result = settings_tables.run(experiment=1, n_sites=250, seed=23)
+        measured = {
+            (None if k == "NULL" else k): v for k, v in result.data["mfs"].items()
+        }
+        assert total_variation_distance(EXPERIMENT_1.mfs_counts, measured) < 0.08

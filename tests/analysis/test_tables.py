@@ -1,0 +1,29 @@
+"""ASCII table formatting."""
+
+from repro.analysis.tables import format_table, scale_note
+
+
+def test_columns_aligned():
+    out = format_table(["label", "num"], [["a", 1], ["longer-name", 22]])
+    lines = out.splitlines()
+    assert lines[0].index("num") == lines[2].index("1") == lines[3].index("22")
+
+
+def test_title_prepended():
+    out = format_table(["h"], [["x"]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_header_rule_present():
+    out = format_table(["alpha", "beta"], [])
+    assert set(out.splitlines()[1]) <= {"-", " "}
+
+
+def test_non_string_cells_coerced():
+    out = format_table(["v"], [[3.14], [None]])
+    assert "3.14" in out and "None" in out
+
+
+def test_scale_note_mentions_ratio():
+    note = scale_note(0.01)
+    assert "100.0" in note

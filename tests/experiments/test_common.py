@@ -1,0 +1,62 @@
+"""Shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    classify_server_header,
+    paper_vs_measured_row,
+    population_scan,
+)
+
+
+class TestClassifyServerHeader:
+    @pytest.mark.parametrize(
+        "header,family",
+        [
+            ("nginx/1.9.15", "nginx"),
+            ("nginx", "nginx"),
+            ("LiteSpeed", "litespeed"),
+            ("GSE", "gse"),
+            ("Tengine/2.1.2", "tengine"),
+            ("Tengine/Aserver", "tengine-aserver"),
+            ("cloudflare-nginx", "cloudflare-nginx"),
+            ("IdeaWebServer/v0.80", "ideaweb"),
+            ("h2o/1.6.2", "h2o"),
+            ("nghttpd nghttp2/1.12.0", "nghttpd"),
+            ("Apache/2.4.23", "apache"),
+            ("Microsoft-IIS/10.0", "other"),
+            (None, "unknown"),
+            ("", "unknown"),
+        ],
+    )
+    def test_mapping(self, header, family):
+        assert classify_server_header(header) == family
+
+    def test_aserver_not_swallowed_by_tengine(self):
+        # Prefix order matters: Tengine/Aserver must not classify as
+        # plain Tengine (Table IV separates them).
+        assert classify_server_header("Tengine/Aserver") == "tengine-aserver"
+
+    def test_case_insensitive(self):
+        assert classify_server_header("NGINX/1.10") == "nginx"
+
+
+class TestComparisonRow:
+    def test_diff_column_formats(self):
+        row = paper_vs_measured_row("metric", 1000, 1100)
+        assert row == ["metric", "1,000", "1,100", "+10.0%"]
+
+    def test_zero_paper_is_na(self):
+        assert paper_vs_measured_row("m", 0, 5)[-1] == "n/a"
+
+
+class TestScanCache:
+    def test_same_key_reuses_scan(self):
+        a = population_scan(1, 30, 5, frozenset({"negotiation"}))
+        b = population_scan(1, 30, 5, frozenset({"negotiation"}))
+        assert a[1] is b[1]  # identical report list object
+
+    def test_different_probes_rescans(self):
+        a = population_scan(1, 30, 5, frozenset({"negotiation"}))
+        b = population_scan(1, 30, 5, frozenset({"negotiation", "settings"}))
+        assert a[1] is not b[1]

@@ -1,0 +1,128 @@
+"""Flow-control window arithmetic (RFC 7540 §5.2, §6.9)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.h2.constants import MAX_WINDOW_SIZE
+from repro.h2.errors import FlowControlError
+from repro.h2.flow_control import FlowControlWindow
+
+
+class TestBasics:
+    def test_default_initial_value(self):
+        assert FlowControlWindow().value == 65_535
+
+    def test_consume_reduces(self):
+        window = FlowControlWindow(100)
+        window.consume(30)
+        assert window.value == 70
+
+    def test_consume_to_zero(self):
+        window = FlowControlWindow(10)
+        window.consume(10)
+        assert window.value == 0
+        assert window.available == 0
+
+    def test_overconsume_raises(self):
+        window = FlowControlWindow(10)
+        with pytest.raises(FlowControlError):
+            window.consume(11)
+
+    def test_negative_consume_rejected(self):
+        with pytest.raises(ValueError):
+            FlowControlWindow(10).consume(-1)
+
+    def test_expand(self):
+        window = FlowControlWindow(0)
+        window.expand(500)
+        assert window.value == 500
+
+    def test_expand_zero_is_accepted_at_this_layer(self):
+        # Policy (RST/GOAWAY/ignore) lives above; the window itself is fine.
+        window = FlowControlWindow(10)
+        window.expand(0)
+        assert window.value == 10
+
+    def test_negative_expand_rejected(self):
+        with pytest.raises(ValueError):
+            FlowControlWindow(10).expand(-5)
+
+
+class TestOverflow:
+    def test_expand_past_max_raises(self):
+        window = FlowControlWindow(1)
+        with pytest.raises(FlowControlError):
+            window.expand(MAX_WINDOW_SIZE)
+
+    def test_expand_exactly_to_max_ok(self):
+        window = FlowControlWindow(0)
+        window.expand(MAX_WINDOW_SIZE)
+        assert window.value == MAX_WINDOW_SIZE
+
+    def test_two_updates_summing_past_max(self):
+        # The §III-B4 probe: two increments whose sum overflows.
+        window = FlowControlWindow(65_535)
+        half = MAX_WINDOW_SIZE // 2 + 1
+        window.expand(half)
+        with pytest.raises(FlowControlError):
+            window.expand(half)
+
+    def test_initial_above_max_rejected(self):
+        with pytest.raises(FlowControlError):
+            FlowControlWindow(MAX_WINDOW_SIZE + 1)
+
+
+class TestInitialAdjustment:
+    def test_shrinking_setting_can_go_negative(self):
+        # §6.9.2: INITIAL_WINDOW_SIZE changes may drive windows negative.
+        window = FlowControlWindow(65_535)
+        window.consume(65_000)
+        window.adjust_initial(-65_535)
+        assert window.value == -65_000
+        assert window.available == 0
+
+    def test_growing_setting_restores(self):
+        window = FlowControlWindow(0)
+        window.adjust_initial(1000)
+        assert window.value == 1000
+
+    def test_adjustment_overflow_rejected(self):
+        window = FlowControlWindow(MAX_WINDOW_SIZE)
+        with pytest.raises(FlowControlError):
+            window.adjust_initial(1)
+
+    def test_negative_window_blocks_until_positive(self):
+        window = FlowControlWindow(100)
+        window.consume(100)
+        window.adjust_initial(-50)
+        assert window.value == -50
+        window.expand(60)
+        assert window.value == 10
+        assert window.available == 10
+
+
+class TestInvariants:
+    @given(
+        st.integers(0, MAX_WINDOW_SIZE),
+        st.lists(st.integers(0, 10_000), max_size=50),
+    )
+    def test_conservation_under_interleaving(self, initial, operations):
+        """consumed + remaining == initial + total expansions, always."""
+        window = FlowControlWindow(initial)
+        consumed = 0
+        expanded = 0
+        for op in operations:
+            if op % 2 == 0 and op <= window.available:
+                window.consume(op)
+                consumed += op
+            elif window.value + op <= MAX_WINDOW_SIZE:
+                window.expand(op)
+                expanded += op
+        assert window.value == initial + expanded - consumed
+        assert window.value <= MAX_WINDOW_SIZE
+
+    @given(st.integers(0, MAX_WINDOW_SIZE))
+    def test_available_never_negative(self, initial):
+        window = FlowControlWindow(initial)
+        window.adjust_initial(-initial)
+        assert window.available >= 0

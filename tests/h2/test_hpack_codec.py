@@ -1,0 +1,189 @@
+"""HPACK encoder/decoder (RFC 7541 §6, Appendix C sequences)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack.decoder import Decoder
+from repro.h2.hpack.encoder import Encoder, IndexingPolicy
+
+REQ1 = [
+    (b":method", b"GET"),
+    (b":scheme", b"http"),
+    (b":path", b"/"),
+    (b":authority", b"www.example.com"),
+]
+REQ2 = REQ1 + [(b"cache-control", b"no-cache")]
+REQ3 = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":path", b"/index.html"),
+    (b":authority", b"www.example.com"),
+    (b"custom-key", b"custom-value"),
+]
+
+
+class TestRfcAppendixC:
+    """The three-request sequences of RFC 7541 C.3 (plain) and C.4 (Huffman)."""
+
+    def test_c3_requests_without_huffman(self):
+        enc = Encoder(use_huffman=False)
+        assert enc.encode(REQ1).hex() == (
+            "828684410f7777772e6578616d706c652e636f6d"
+        )
+        assert enc.encode(REQ2).hex() == "828684be58086e6f2d6361636865"
+        assert enc.encode(REQ3).hex() == (
+            "828785bf400a637573746f6d2d6b65790c637573746f6d2d76616c7565"
+        )
+
+    def test_c4_requests_with_huffman(self):
+        enc = Encoder(use_huffman=True)
+        assert enc.encode(REQ1).hex() == "828684418cf1e3c2e5f23a6ba0ab90f4ff"
+        assert enc.encode(REQ2).hex() == "828684be5886a8eb10649cbf"
+        assert enc.encode(REQ3).hex() == (
+            "828785bf408825a849e95ba97d7f8925a849e95bb8e8b4bf"
+        )
+
+    def test_c3_decoding_sequence(self):
+        dec = Decoder()
+        assert dec.decode(bytes.fromhex("828684410f7777772e6578616d706c652e636f6d")) == REQ1
+        assert dec.decode(bytes.fromhex("828684be58086e6f2d6361636865")) == REQ2
+        assert dec.decode(
+            bytes.fromhex("828785bf400a637573746f6d2d6b65790c637573746f6d2d76616c7565")
+        ) == REQ3
+
+    def test_dynamic_table_state_after_c4(self):
+        dec = Decoder()
+        dec.decode(bytes.fromhex("828684418cf1e3c2e5f23a6ba0ab90f4ff"))
+        assert len(dec.table) == 1
+        assert dec.table.get(0).name == b":authority"
+        dec.decode(bytes.fromhex("828684be5886a8eb10649cbf"))
+        assert len(dec.table) == 2
+        assert dec.table.get(0).name == b"cache-control"
+
+
+class TestEncoderPolicies:
+    def test_no_index_policy_leaves_table_empty(self):
+        enc = Encoder(default_policy=IndexingPolicy.NO_INDEX)
+        enc.encode([(b"x-custom", b"abc"), (b"server", b"nginx")])
+        assert len(enc.table) == 0
+
+    def test_no_index_blocks_have_constant_size(self):
+        # The Nginx behaviour of §V-G: repeated responses never shrink.
+        enc = Encoder(default_policy=IndexingPolicy.NO_INDEX)
+        headers = [(b":status", b"200"), (b"server", b"nginx/1.9.15")]
+        sizes = [len(enc.encode(headers)) for _ in range(5)]
+        assert len(set(sizes)) == 1
+
+    def test_index_policy_shrinks_repeats(self):
+        enc = Encoder(default_policy=IndexingPolicy.INDEX)
+        headers = [(b":status", b"200"), (b"server", b"h2o/1.6.2"), (b"x-a", b"b" * 30)]
+        first = len(enc.encode(headers))
+        second = len(enc.encode(headers))
+        assert second < first
+        # Everything indexed: one octet per field.
+        assert second == len(headers)
+
+    def test_sensitive_headers_never_indexed(self):
+        enc = Encoder()
+        enc.encode([(b"authorization", b"Bearer s3cr3t")])
+        assert len(enc.table) == 0
+
+    def test_never_index_representation_prefix(self):
+        enc = Encoder(default_policy=IndexingPolicy.NEVER_INDEX)
+        block = enc.encode([(b"x-secret", b"v")])
+        assert block[0] & 0xF0 == 0x10
+
+    def test_static_full_match_is_single_octet(self):
+        enc = Encoder()
+        assert enc.encode([(b":method", b"GET")]) == bytes([0x82])
+
+    def test_header_names_are_lowercased(self):
+        enc = Encoder()
+        dec = Decoder()
+        decoded = dec.decode(enc.encode([("X-Custom", "Value")]))
+        assert decoded == [(b"x-custom", b"Value")]
+
+    def test_table_size_update_emitted_on_resize(self):
+        enc = Encoder()
+        enc.header_table_size = 256
+        block = enc.encode([(b":method", b"GET")])
+        assert block[0] & 0xE0 == 0x20  # size update prefix first
+        dec = Decoder()
+        assert dec.decode(block) == [(b":method", b"GET")]
+        assert dec.table.max_size == 256
+
+
+class TestDecoderErrors:
+    def test_index_zero_rejected(self):
+        with pytest.raises(HpackDecodingError):
+            Decoder().decode(bytes([0x80]))
+
+    def test_index_beyond_tables_rejected(self):
+        with pytest.raises(HpackDecodingError):
+            Decoder().decode(bytes([0x80 | 0x7F, 0x20]))  # way past 61
+
+    def test_truncated_string_rejected(self):
+        with pytest.raises(HpackDecodingError):
+            Decoder().decode(bytes([0x40, 0x05, 0x61, 0x62]))  # len 5, 2 bytes
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(HpackDecodingError):
+            Decoder().decode(bytes([0x40, 0x01, 0x61]))  # name only
+
+    def test_size_update_above_settings_limit_rejected(self):
+        dec = Decoder(max_header_table_size=4096)
+        update = bytes([0x3F, 0xE2, 0x7F])  # 16415 > 4096
+        with pytest.raises(HpackDecodingError):
+            dec.decode(update)
+
+    def test_size_update_after_field_rejected(self):
+        enc = Encoder()
+        field = enc.encode([(b":method", b"GET")])
+        with pytest.raises(HpackDecodingError):
+            Decoder().decode(field + bytes([0x20]))
+
+    def test_header_list_size_limit_enforced(self):
+        dec = Decoder(max_header_list_size=40)
+        enc = Encoder()
+        block = enc.encode([(b"a" * 30, b"b" * 30)])
+        with pytest.raises(HpackDecodingError):
+            dec.decode(block)
+
+    def test_shrinking_own_limit_shrinks_table(self):
+        dec = Decoder()
+        enc = Encoder()
+        dec.decode(enc.encode([(b"x-large", b"v" * 100)]))
+        assert len(dec.table) == 1
+        dec.set_max_allowed_table_size(10)
+        assert len(dec.table) == 0
+
+
+_header_name = st.binary(min_size=1, max_size=24).map(lambda b: b.lower())
+_header = st.tuples(_header_name, st.binary(max_size=48))
+
+
+class TestRoundTrip:
+    @settings(max_examples=60)
+    @given(st.lists(_header, max_size=16), st.booleans())
+    def test_roundtrip_single_block(self, headers, use_huffman):
+        enc = Encoder(use_huffman=use_huffman)
+        dec = Decoder()
+        assert dec.decode(enc.encode(headers)) == headers
+
+    @settings(max_examples=30)
+    @given(st.lists(st.lists(_header, max_size=8), min_size=1, max_size=6))
+    def test_roundtrip_block_sequence_keeps_contexts_in_sync(self, blocks):
+        enc = Encoder()
+        dec = Decoder()
+        for headers in blocks:
+            assert dec.decode(enc.encode(headers)) == headers
+            assert dec.table.size == enc.table.size
+
+    @settings(max_examples=30)
+    @given(st.lists(_header, max_size=10))
+    def test_policies_do_not_change_decoded_headers(self, headers):
+        for policy in IndexingPolicy:
+            enc = Encoder(default_policy=policy)
+            dec = Decoder()
+            assert dec.decode(enc.encode(headers)) == headers

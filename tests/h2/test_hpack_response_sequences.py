@@ -1,0 +1,119 @@
+"""RFC 7541 Appendix C.5/C.6: response sequences with a 256-octet table.
+
+These vectors exercise eviction: the dynamic table is capped at 256
+octets, so the third response evicts earlier entries.  Our encoder
+matches the RFC byte-for-byte except for two deliberate, documented
+choices:
+
+* ``set-cookie`` is sent *never-indexed* (RFC 7541 §7.1.3's security
+  advice, which the Appendix C examples predate);
+* Huffman coding is applied only when it strictly shrinks the string
+  (the RFC example huffman-codes "307" at equal length).
+
+Both deviations are representation-only: decoding yields identical
+headers, and interop is asserted by decoding the RFC's exact bytes.
+"""
+
+import pytest
+
+from repro.h2.hpack.decoder import Decoder
+from repro.h2.hpack.encoder import Encoder
+
+RESPONSE_1 = [
+    (b":status", b"302"),
+    (b"cache-control", b"private"),
+    (b"date", b"Mon, 21 Oct 2013 20:13:21 GMT"),
+    (b"location", b"https://www.example.com"),
+]
+RESPONSE_2 = [
+    (b":status", b"307"),
+    (b"cache-control", b"private"),
+    (b"date", b"Mon, 21 Oct 2013 20:13:21 GMT"),
+    (b"location", b"https://www.example.com"),
+]
+RESPONSE_3 = [
+    (b":status", b"200"),
+    (b"cache-control", b"private"),
+    (b"date", b"Mon, 21 Oct 2013 20:13:22 GMT"),
+    (b"location", b"https://www.example.com"),
+    (b"content-encoding", b"gzip"),
+    (b"set-cookie", b"foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1"),
+]
+RESPONSES = [RESPONSE_1, RESPONSE_2, RESPONSE_3]
+
+#: The RFC's exact wire bytes for the three responses.
+RFC_C5 = [
+    "4803333032580770726976617465611d4d6f6e2c203231204f637420323031332032"
+    "303a31333a323120474d546e1768747470733a2f2f7777772e6578616d706c652e636f6d",
+    "4803333037c1c0bf",
+    "88c1611d4d6f6e2c203231204f637420323031332032303a31333a323220474d54c05a"
+    "04677a697077" "38666f6f3d4153444a4b48514b425a584f5157454f50495541585157"
+    "454f49553b206d61782d6167653d333630303b2076657273696f6e3d31",
+]
+RFC_C6 = [
+    "488264025885aec3771a4b6196d07abe941054d444a8200595040b8166e082a62d1bff"
+    "6e919d29ad171863c78f0b97c8e9ae82ae43d3",
+    "4883640effc1c0bf",
+    "88c16196d07abe941054d444a8200595040b8166e084a62d1bffc05a839bd9ab77ad94"
+    "e7821dd7f2e6c7b335dfdfcd5b3960d5af27087f3672c1ab270fb5291f9587316065c0"
+    "03ed4ee5b1063d5007",
+]
+
+
+class TestEncoderAgainstRfc:
+    def test_c5_first_two_responses_byte_exact(self):
+        enc = Encoder(header_table_size=256, use_huffman=False)
+        assert enc.encode(RESPONSE_1).hex() == RFC_C5[0]
+        assert enc.encode(RESPONSE_2).hex() == RFC_C5[1]
+
+    def test_c6_first_response_byte_exact(self):
+        enc = Encoder(header_table_size=256, use_huffman=True)
+        assert enc.encode(RESPONSE_1).hex() == RFC_C6[0]
+
+    def test_third_response_decode_equivalent(self):
+        # Representation differs (never-indexed set-cookie); the decoded
+        # headers must not.
+        for use_huffman in (False, True):
+            enc = Encoder(header_table_size=256, use_huffman=use_huffman)
+            dec = Decoder(max_header_table_size=256)
+            for response in RESPONSES:
+                assert dec.decode(enc.encode(response)) == response
+
+    def test_eviction_under_256_octets(self):
+        enc = Encoder(header_table_size=256, use_huffman=False)
+        for response in RESPONSES:
+            enc.encode(response)
+        assert enc.table.size <= 256
+        # The oldest entries (:status 302, cache-control private from
+        # response 1) have been evicted by response 3's insertions.
+        names = [field.name for field in enc.table]
+        assert b"content-encoding" in names
+        assert (b":status", b"302") not in [(f.name, f.value) for f in enc.table]
+
+
+class TestDecoderAgainstRfcBytes:
+    """Interop: decode the RFC's exact bytes, indexed set-cookie included."""
+
+    @pytest.mark.parametrize("vectors", [RFC_C5, RFC_C6], ids=["plain", "huffman"])
+    def test_rfc_sequences_decode(self, vectors):
+        dec = Decoder(max_header_table_size=256)
+        for wire, expected in zip(vectors, RESPONSES):
+            assert dec.decode(bytes.fromhex(wire)) == expected
+
+    @pytest.mark.parametrize("vectors", [RFC_C5, RFC_C6], ids=["plain", "huffman"])
+    def test_decoder_table_after_rfc_sequence(self, vectors):
+        dec = Decoder(max_header_table_size=256)
+        for wire in vectors:
+            dec.decode(bytes.fromhex(wire))
+        # RFC: the final table holds set-cookie, content-encoding, date.
+        names = [field.name for field in dec.table]
+        assert names == [b"set-cookie", b"content-encoding", b"date"]
+        assert dec.table.size == 215
+
+    def test_second_response_uses_pure_indexing(self):
+        # C.5.2 is four octets: one literal (:status 307) + three
+        # indexed fields — the dynamic table at work.
+        dec = Decoder(max_header_table_size=256)
+        dec.decode(bytes.fromhex(RFC_C5[0]))
+        assert len(bytes.fromhex(RFC_C5[1])) == 8
+        assert dec.decode(bytes.fromhex(RFC_C5[1])) == RESPONSE_2

@@ -1,0 +1,122 @@
+"""HPACK Huffman codec (RFC 7541 §5.2 / Appendix B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack import huffman
+from repro.h2.hpack.huffman_table import HUFFMAN_CODES, HUFFMAN_EOS
+
+#: RFC 7541 Appendix C string vectors (input, hex of Huffman encoding).
+RFC_VECTORS = [
+    (b"www.example.com", "f1e3c2e5f23a6ba0ab90f4ff"),
+    (b"no-cache", "a8eb10649cbf"),
+    (b"custom-key", "25a849e95ba97d7f"),
+    (b"custom-value", "25a849e95bb8e8b4bf"),
+    (b"302", "6402"),
+    (b"private", "aec3771a4b"),
+    (b"Mon, 21 Oct 2013 20:13:21 GMT", "d07abe941054d444a8200595040b8166e082a62d1bff"),
+    (b"https://www.example.com", "9d29ad171863c78f0b97c8e9ae82ae43d3"),
+    (b"Mon, 21 Oct 2013 20:13:22 GMT", "d07abe941054d444a8200595040b8166e084a62d1bff"),
+    (b"gzip", "9bd9ab"),
+    (
+        b"foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1",
+        "94e7821dd7f2e6c7b335dfdfcd5b3960d5af27087f3672c1ab270fb5291f9587316065c003ed4ee5b1063d5007",
+    ),
+    (b"307", "640eff"),
+    (b"Mon, 21 Oct 2013 20:13:22 GMT", "d07abe941054d444a8200595040b8166e084a62d1bff"),
+]
+
+
+class TestTable:
+    def test_all_257_symbols_present(self):
+        assert len(HUFFMAN_CODES) == 257
+
+    def test_eos_is_30_ones(self):
+        code, length = HUFFMAN_CODES[HUFFMAN_EOS]
+        assert length == 30
+        assert code == (1 << 30) - 1
+
+    def test_codes_fit_their_bit_lengths(self):
+        for code, length in HUFFMAN_CODES:
+            assert 5 <= length <= 30
+            assert code < (1 << length)
+
+    def test_codes_are_prefix_free(self):
+        padded = sorted(
+            (code << (32 - length), length) for code, length in HUFFMAN_CODES
+        )
+        for (a_code, a_len), (b_code, b_len) in zip(padded, padded[1:]):
+            shorter = min(a_len, b_len)
+            assert a_code >> (32 - shorter) != b_code >> (32 - shorter)
+
+    def test_codes_are_unique(self):
+        assert len(set(HUFFMAN_CODES)) == 257
+
+    def test_common_symbols_have_short_codes(self):
+        # The canonical code assigns 5 bits to the most frequent octets.
+        for char in b"012aceiost":
+            assert HUFFMAN_CODES[char][1] == 5
+
+
+class TestEncode:
+    @pytest.mark.parametrize("raw,expected", RFC_VECTORS)
+    def test_rfc_vectors(self, raw, expected):
+        assert huffman.encode(raw).hex() == expected
+
+    def test_empty_string(self):
+        assert huffman.encode(b"") == b""
+
+    def test_encoded_length_matches_encode(self):
+        for raw, _ in RFC_VECTORS:
+            assert huffman.encoded_length(raw) == len(huffman.encode(raw))
+
+    def test_padding_bits_are_ones(self):
+        # "a" is 5 bits (00011); padded with three 1s -> 0001_9bits...
+        encoded = huffman.encode(b"a")
+        assert len(encoded) == 1
+        assert encoded[0] & 0b111 == 0b111
+
+
+class TestDecode:
+    @pytest.mark.parametrize("raw,expected", RFC_VECTORS)
+    def test_rfc_vectors(self, raw, expected):
+        assert huffman.decode(bytes.fromhex(expected)) == raw
+
+    def test_empty(self):
+        assert huffman.decode(b"") == b""
+
+    def test_invalid_padding_zeros_rejected(self):
+        # "0" = 5 bits of 00000; padding with zeros is not an EOS prefix.
+        with pytest.raises(HpackDecodingError):
+            huffman.decode(bytes([0b00000_000]))
+
+    def test_padding_longer_than_7_bits_rejected(self):
+        # A full octet of ones is 8 bits of padding.
+        valid = huffman.encode(b"www")
+        with pytest.raises(HpackDecodingError):
+            huffman.decode(valid + b"\xff")
+
+    def test_eos_in_stream_rejected(self):
+        # 30 bits of ones = EOS followed by 2 padding bits.
+        eos = (0x3FFFFFFF << 2) | 0b11
+        with pytest.raises(HpackDecodingError):
+            huffman.decode(eos.to_bytes(4, "big"))
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=256))
+    def test_roundtrip_arbitrary_bytes(self, raw):
+        assert huffman.decode(huffman.encode(raw)) == raw
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_never_longer_than_4x(self, raw):
+        # Worst-case code is 30 bits per octet.
+        assert len(huffman.encode(raw)) <= len(raw) * 4
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-./", max_size=200))
+    def test_token_text_compresses(self, text):
+        raw = text.encode()
+        if len(raw) >= 16:
+            # Header-ish token characters all have 5-6 bit codes.
+            assert len(huffman.encode(raw)) < len(raw)

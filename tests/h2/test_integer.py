@@ -1,0 +1,101 @@
+"""HPACK prefix-integer codec (RFC 7541 §5.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack.integer import decode_integer, encode_integer
+
+
+class TestEncode:
+    def test_rfc_example_10_with_5bit_prefix(self):
+        # RFC 7541 C.1.1: 10 fits in a 5-bit prefix.
+        assert bytes(encode_integer(10, 5)) == bytes([0b01010])
+
+    def test_rfc_example_1337_with_5bit_prefix(self):
+        # RFC 7541 C.1.2: 1337 = 31 + (26 | 0x80 continuation) + 10.
+        assert bytes(encode_integer(1337, 5)) == bytes([31, 0b10011010, 0b00001010])
+
+    def test_rfc_example_42_with_8bit_prefix(self):
+        # RFC 7541 C.1.3.
+        assert bytes(encode_integer(42, 8)) == bytes([42])
+
+    def test_value_equal_to_prefix_max_spills(self):
+        # 2^5-1 = 31 does not fit; needs a zero continuation octet.
+        assert bytes(encode_integer(31, 5)) == bytes([31, 0])
+
+    def test_value_below_prefix_max_is_single_octet(self):
+        assert bytes(encode_integer(30, 5)) == bytes([30])
+
+    def test_zero(self):
+        assert bytes(encode_integer(0, 7)) == b"\x00"
+
+    def test_high_bits_of_first_octet_are_clear(self):
+        for value in (0, 5, 31, 1337, 2**20):
+            first = encode_integer(value, 5)[0]
+            assert first & ~0b11111 == 0
+
+    @pytest.mark.parametrize("prefix", [0, 9, -1])
+    def test_invalid_prefix_rejected(self, prefix):
+        with pytest.raises(ValueError):
+            encode_integer(1, prefix)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            encode_integer(-1, 5)
+
+
+class TestDecode:
+    def test_rfc_example_1337(self):
+        value, offset = decode_integer(bytes([31, 0b10011010, 0b00001010]), 0, 5)
+        assert (value, offset) == (1337, 3)
+
+    def test_prefix_bits_above_prefix_are_masked(self):
+        # Caller flags in the high bits must not leak into the value.
+        value, _ = decode_integer(bytes([0b10101010]), 0, 5)
+        assert value == 0b01010
+
+    def test_offset_advances_past_integer(self):
+        data = b"\xff" + bytes(encode_integer(300, 7)) + b"rest"
+        value, offset = decode_integer(data, 1, 7)
+        assert value == 300
+        assert data[offset:] == b"rest"
+
+    def test_empty_input_raises(self):
+        with pytest.raises(HpackDecodingError):
+            decode_integer(b"", 0, 5)
+
+    def test_truncated_continuation_raises(self):
+        with pytest.raises(HpackDecodingError):
+            decode_integer(bytes([31, 0x80]), 0, 5)
+
+    def test_absurdly_long_continuation_raises(self):
+        data = bytes([255]) + b"\xff" * 12 + b"\x7f"
+        with pytest.raises(HpackDecodingError):
+            decode_integer(data, 0, 8)
+
+    def test_non_minimal_encoding_still_decodes(self):
+        # 31 followed by 0 continuation == 31; legal on the wire.
+        value, _ = decode_integer(bytes([31, 0]), 0, 5)
+        assert value == 31
+
+
+class TestRoundTrip:
+    @given(value=st.integers(0, 2**32), prefix=st.integers(1, 8))
+    def test_roundtrip(self, value, prefix):
+        encoded = bytes(encode_integer(value, prefix))
+        decoded, offset = decode_integer(encoded, 0, prefix)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(value=st.integers(0, 2**20), prefix=st.integers(1, 8))
+    def test_encoding_is_minimal(self, value, prefix):
+        encoded = bytes(encode_integer(value, prefix))
+        max_prefix = (1 << prefix) - 1
+        if value < max_prefix:
+            assert len(encoded) == 1
+        else:
+            # Last continuation octet never has the top bit set and,
+            # except for the value-exactly-max case, is non-zero padding.
+            assert encoded[0] == max_prefix
+            assert not encoded[-1] & 0x80

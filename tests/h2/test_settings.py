@@ -1,0 +1,65 @@
+"""SETTINGS book-keeping (RFC 7540 §6.5)."""
+
+import pytest
+
+from repro.h2.constants import SettingCode
+from repro.h2.errors import FlowControlError, ProtocolError
+from repro.h2.settings import SettingsMap, validate_setting
+
+
+class TestDefaults:
+    def test_rfc_defaults(self):
+        settings = SettingsMap()
+        assert settings.header_table_size == 4096
+        assert settings.enable_push is True
+        assert settings.max_concurrent_streams is None  # unlimited
+        assert settings.initial_window_size == 65_535
+        assert settings.max_frame_size == 16_384
+        assert settings.max_header_list_size is None  # unlimited
+
+    def test_announced_is_none_for_defaults(self):
+        settings = SettingsMap()
+        assert settings.announced(SettingCode.INITIAL_WINDOW_SIZE) is None
+
+    def test_explicit_overrides_default(self):
+        settings = SettingsMap({int(SettingCode.INITIAL_WINDOW_SIZE): 0})
+        assert settings.initial_window_size == 0
+        assert settings.announced(SettingCode.INITIAL_WINDOW_SIZE) == 0
+
+    def test_unknown_identifier_returns_none(self):
+        settings = SettingsMap()
+        assert settings.get(0xBEEF) is None
+        settings.set(0xBEEF, 7)
+        assert settings.get(0xBEEF) == 7
+
+
+class TestValidation:
+    def test_enable_push_must_be_boolean(self):
+        with pytest.raises(ProtocolError):
+            validate_setting(int(SettingCode.ENABLE_PUSH), 2)
+
+    def test_initial_window_size_bounded(self):
+        with pytest.raises(FlowControlError):
+            validate_setting(int(SettingCode.INITIAL_WINDOW_SIZE), 2**31)
+        validate_setting(int(SettingCode.INITIAL_WINDOW_SIZE), 2**31 - 1)
+
+    @pytest.mark.parametrize("value", [16_383, 2**24])
+    def test_max_frame_size_bounds(self, value):
+        with pytest.raises(ProtocolError):
+            validate_setting(int(SettingCode.MAX_FRAME_SIZE), value)
+
+    @pytest.mark.parametrize("value", [16_384, 65_536, 2**24 - 1])
+    def test_max_frame_size_legal_values(self, value):
+        validate_setting(int(SettingCode.MAX_FRAME_SIZE), value)
+
+    def test_unknown_identifiers_never_fail_validation(self):
+        validate_setting(0xFFFF, 2**32 - 1)
+
+    def test_set_without_validation_accepts_anything(self):
+        settings = SettingsMap()
+        settings.set(int(SettingCode.ENABLE_PUSH), 7, validate=False)
+        assert settings.get(SettingCode.ENABLE_PUSH) == 7
+
+    def test_as_dict_round_trips(self):
+        initial = {int(SettingCode.MAX_CONCURRENT_STREAMS): 100}
+        assert SettingsMap(initial).as_dict() == initial

@@ -1,0 +1,133 @@
+"""Per-stream state machine (RFC 7540 §5.1)."""
+
+import pytest
+
+from repro.h2.errors import ProtocolError, StreamClosedError
+from repro.h2.stream import Stream, StreamState
+
+
+class TestClientSideLifecycle:
+    def test_idle_to_open_on_send_headers(self):
+        stream = Stream(1)
+        stream.send_headers()
+        assert stream.state is StreamState.OPEN
+
+    def test_request_with_end_stream_half_closes_local(self):
+        stream = Stream(1)
+        stream.send_headers(end_stream=True)
+        assert stream.state is StreamState.HALF_CLOSED_LOCAL
+
+    def test_full_request_response_cycle(self):
+        stream = Stream(1)
+        stream.send_headers(end_stream=True)
+        stream.receive_headers()
+        stream.receive_data()
+        stream.receive_data(end_stream=True)
+        assert stream.state is StreamState.CLOSED
+
+    def test_cannot_send_data_before_headers(self):
+        stream = Stream(1)
+        with pytest.raises(StreamClosedError):
+            stream.send_data()
+
+    def test_cannot_send_after_local_end_stream(self):
+        stream = Stream(1)
+        stream.send_headers(end_stream=True)
+        with pytest.raises(StreamClosedError):
+            stream.send_data()
+
+
+class TestServerSideLifecycle:
+    def test_receive_request_then_respond(self):
+        stream = Stream(1)
+        stream.receive_headers(end_stream=True)
+        assert stream.state is StreamState.HALF_CLOSED_REMOTE
+        stream.send_headers()
+        stream.send_data(end_stream=True)
+        assert stream.state is StreamState.CLOSED
+
+    def test_receive_data_in_open(self):
+        stream = Stream(1)
+        stream.receive_headers()
+        stream.receive_data()
+        assert stream.state is StreamState.OPEN
+
+    def test_data_on_closed_stream_is_stream_closed_error(self):
+        stream = Stream(1)
+        stream.receive_headers(end_stream=True)
+        stream.send_headers(end_stream=True)
+        assert stream.closed
+        with pytest.raises(StreamClosedError):
+            stream.receive_data()
+
+
+class TestPush:
+    def test_promise_reserves_local(self):
+        stream = Stream(2)
+        stream.send_push_promise()
+        assert stream.state is StreamState.RESERVED_LOCAL
+        stream.send_headers()
+        assert stream.state is StreamState.HALF_CLOSED_REMOTE
+
+    def test_promise_reserves_remote(self):
+        stream = Stream(2)
+        stream.receive_push_promise()
+        assert stream.state is StreamState.RESERVED_REMOTE
+        stream.receive_headers()
+        assert stream.state is StreamState.HALF_CLOSED_LOCAL
+
+    def test_promise_on_non_idle_rejected(self):
+        stream = Stream(2)
+        stream.send_headers()
+        with pytest.raises(ProtocolError):
+            stream.send_push_promise()
+
+
+class TestReset:
+    def test_send_reset_closes(self):
+        stream = Stream(1)
+        stream.send_headers()
+        stream.send_reset(8)
+        assert stream.closed
+        assert stream.reset_code == 8
+
+    def test_receive_reset_closes(self):
+        stream = Stream(1)
+        stream.send_headers()
+        stream.receive_reset(5)
+        assert stream.closed
+        assert stream.reset_code == 5
+
+    def test_reset_idle_stream_rejected(self):
+        stream = Stream(1)
+        with pytest.raises(ProtocolError):
+            stream.send_reset()
+        with pytest.raises(ProtocolError):
+            stream.receive_reset(1)
+
+    def test_headers_after_remote_reset_is_stream_closed(self):
+        stream = Stream(1)
+        stream.send_headers()
+        stream.receive_reset(8)
+        with pytest.raises(StreamClosedError):
+            stream.receive_headers()
+
+
+class TestFlags:
+    def test_can_send_flags(self):
+        stream = Stream(1)
+        assert not stream.can_send
+        stream.send_headers()
+        assert stream.can_send
+        assert stream.can_receive
+
+    def test_half_closed_remote_can_still_send(self):
+        stream = Stream(1)
+        stream.receive_headers(end_stream=True)
+        assert stream.can_send
+        assert not stream.can_receive
+
+    def test_windows_are_per_stream(self):
+        a, b = Stream(1), Stream(3)
+        a.outbound_window.consume(100)
+        assert b.outbound_window.value == 65_535

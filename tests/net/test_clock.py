@@ -1,0 +1,126 @@
+"""Virtual clock and event scheduler."""
+
+import pytest
+
+from repro.net.clock import Simulation
+
+
+class TestScheduling:
+    def test_call_later_advances_clock(self):
+        sim = Simulation()
+        fired = []
+        sim.call_later(1.5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 1.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.call_later(3.0, fired.append, "late")
+        sim.call_later(1.0, fired.append, "early")
+        sim.call_later(2.0, fired.append, "mid")
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulation()
+        fired = []
+        for tag in "abc":
+            sim.call_at(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulation()
+        sim.call_later(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().call_later(-1, lambda: None)
+
+    def test_callbacks_may_schedule_more(self):
+        sim = Simulation()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.call_later(1.0, chain, n + 1)
+
+        sim.call_later(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        timer = sim.call_later(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_ignores_cancelled(self):
+        sim = Simulation()
+        t = sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, lambda: None)
+        t.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunVariants:
+    def test_run_until_time_bound(self):
+        sim = Simulation()
+        fired = []
+        sim.call_later(1.0, fired.append, "a")
+        sim.call_later(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_predicate(self):
+        sim = Simulation()
+        state = {"done": False}
+        sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, state.__setitem__, "done", True)
+        sim.call_later(9.0, lambda: None)
+        assert sim.run_until(lambda: state["done"], timeout=5.0)
+        assert sim.now == 2.0
+
+    def test_run_until_timeout_returns_false(self):
+        sim = Simulation()
+        sim.call_later(100.0, lambda: None)
+        assert not sim.run_until(lambda: False, timeout=1.0)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_run_until_with_empty_queue(self):
+        sim = Simulation()
+        assert not sim.run_until(lambda: False, timeout=1.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulation().step()
+
+    def test_processed_events_counter(self):
+        sim = Simulation()
+        for _ in range(4):
+            sim.call_later(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_runaway_guard(self):
+        sim = Simulation()
+
+        def forever():
+            sim.call_later(0.0, forever)
+
+        sim.call_later(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)

@@ -1,0 +1,111 @@
+"""TLS ALPN/NPN negotiation semantics and hello wire codec (§IV-A)."""
+
+import pytest
+
+from repro.net.tls import (
+    H2,
+    HTTP11,
+    SPDY3,
+    TlsServerConfig,
+    decode_client_hello,
+    decode_server_hello,
+    encode_client_hello,
+    encode_server_hello,
+    negotiate_alpn,
+    negotiate_npn,
+    negotiate_tls,
+)
+
+
+class TestAlpn:
+    def test_server_preference_wins(self):
+        # ALPN: the server picks, in its own preference order.
+        server = TlsServerConfig(alpn_protocols=[H2, HTTP11])
+        assert negotiate_alpn([HTTP11, H2], server) == H2
+
+    def test_no_overlap_yields_none(self):
+        server = TlsServerConfig(alpn_protocols=[HTTP11])
+        assert negotiate_alpn([SPDY3], server) is None
+
+    def test_server_without_alpn(self):
+        server = TlsServerConfig(alpn_protocols=None)
+        assert negotiate_alpn([H2], server) is None
+
+    def test_h1_only_server(self):
+        server = TlsServerConfig(alpn_protocols=[HTTP11])
+        assert negotiate_alpn([H2, HTTP11], server) == HTTP11
+
+
+class TestNpn:
+    def test_client_preference_wins(self):
+        # NPN: the server advertises, the client picks.
+        server = TlsServerConfig(npn_protocols=[HTTP11, H2])
+        assert negotiate_npn([H2, HTTP11], server) == H2
+
+    def test_server_without_npn(self):
+        server = TlsServerConfig(npn_protocols=None)
+        assert negotiate_npn([H2], server) is None
+
+    def test_no_overlap(self):
+        server = TlsServerConfig(npn_protocols=[SPDY3])
+        assert negotiate_npn([H2, HTTP11], server) is None
+
+
+class TestCombined:
+    def test_alpn_takes_precedence(self):
+        server = TlsServerConfig()
+        result = negotiate_tls(server, client_alpn=[H2], client_npn=[HTTP11])
+        assert result.protocol == H2
+        assert result.mechanism == "alpn"
+
+    def test_npn_fallback_when_no_alpn(self):
+        # The paper: >100 server types "just speak NPN" (pre-1.0.2 OpenSSL).
+        server = TlsServerConfig(alpn_protocols=None)
+        result = negotiate_tls(server, client_alpn=[H2], client_npn=[H2])
+        assert result.protocol == H2
+        assert result.mechanism == "npn"
+
+    def test_apache_has_no_npn(self):
+        server = TlsServerConfig(npn_protocols=None)
+        result = negotiate_tls(server, client_alpn=None, client_npn=[H2])
+        assert result.protocol is None
+        assert result.mechanism is None
+
+    def test_both_mechanisms_recorded_independently(self):
+        server = TlsServerConfig()
+        result = negotiate_tls(server, client_alpn=[H2], client_npn=[H2])
+        assert result.alpn_protocol == H2
+        assert result.npn_protocol == H2
+
+
+class TestWireCodec:
+    def test_client_hello_roundtrip(self):
+        line = encode_client_hello([H2, HTTP11], npn_offered=True)
+        alpn, npn = decode_client_hello(line)
+        assert alpn == [H2, HTTP11]
+        assert npn is True
+
+    def test_client_hello_without_alpn(self):
+        alpn, npn = decode_client_hello(encode_client_hello(None, False))
+        assert alpn == []
+        assert npn is False
+
+    def test_server_hello_roundtrip(self):
+        line = encode_server_hello(H2, [H2, HTTP11])
+        choice, npn = decode_server_hello(line)
+        assert choice == H2
+        assert npn == [H2, HTTP11]
+
+    def test_server_hello_nothing_negotiated(self):
+        choice, npn = decode_server_hello(encode_server_hello(None, None))
+        assert choice is None
+        assert npn is None
+
+    @pytest.mark.parametrize("junk", [b"GET / HTTP/1.1\n", b"\n", b"SERVERHELLO x\n"])
+    def test_malformed_client_hello_rejected(self, junk):
+        with pytest.raises(ValueError):
+            decode_client_hello(junk)
+
+    def test_malformed_server_hello_rejected(self):
+        with pytest.raises(ValueError):
+            decode_server_hello(b"CLIENTHELLO alpn=h2 npn=1\n")

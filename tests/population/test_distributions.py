@@ -1,0 +1,81 @@
+"""The transcribed paper aggregates must be internally consistent."""
+
+import pytest
+
+from repro.population.distributions import (
+    EXPERIMENT_1,
+    EXPERIMENT_2,
+    experiment_data,
+)
+
+
+@pytest.fixture(params=[EXPERIMENT_1, EXPERIMENT_2], ids=["exp1", "exp2"])
+def data(request):
+    return request.param
+
+
+class TestTableTotals:
+    def test_settings_tables_sum_to_headers_population(self, data):
+        # Tables V, VI and VII all partition the HEADERS-returning sites.
+        assert sum(data.iws_counts.values()) == data.headers_sites
+        assert sum(data.mfs_counts.values()) == data.headers_sites
+        assert sum(data.mhls_counts.values()) == data.headers_sites
+
+    def test_null_rows_identical_across_tables(self, data):
+        # The NULL sites are the ones sending no SETTINGS frame at all,
+        # so all three tables share the count.
+        assert data.iws_counts[None] == data.mfs_counts[None] == data.mhls_counts[None]
+
+    def test_tiny_window_categories_partition(self, data):
+        total = data.tiny_window_sized + data.tiny_zero_length + data.tiny_no_response
+        assert total == data.headers_sites
+
+    def test_zero_wu_stream_categories_partition(self, data):
+        assert data.zero_wu_rst + data.zero_wu_not_error == data.headers_sites
+        assert data.zero_wu_goaway <= data.zero_wu_not_error
+        assert data.zero_wu_goaway_debug <= data.headers_sites
+
+    def test_large_wu_stream_partition(self, data):
+        assert (
+            data.large_wu_stream_rst + data.large_wu_stream_no_rst
+            == data.headers_sites
+        )
+
+    def test_priority_counts_nested(self, data):
+        assert data.priority_pass_both <= data.priority_pass_last
+        assert data.priority_pass_both <= data.priority_pass_first + data.priority_pass_last
+        assert data.priority_pass_last < data.headers_sites // 10
+
+    def test_mcs_mixture_normalised(self, data):
+        assert sum(data.mcs_mixture.values()) == pytest.approx(1.0, abs=0.01)
+
+
+class TestPaperNumbers:
+    def test_experiment_1_headline_counts(self):
+        assert EXPERIMENT_1.npn_sites == 49_334
+        assert EXPERIMENT_1.alpn_sites == 47_966
+        assert EXPERIMENT_1.headers_sites == 44_390
+        assert EXPERIMENT_1.push_sites == 6
+        assert EXPERIMENT_1.server_counts["litespeed"] == 12_637
+
+    def test_experiment_2_headline_counts(self):
+        assert EXPERIMENT_2.npn_sites == 78_714
+        assert EXPERIMENT_2.headers_sites == 64_299
+        assert EXPERIMENT_2.push_sites == 15
+        assert EXPERIMENT_2.server_counts["tengine-aserver"] == 2_620
+
+    def test_adoption_grew_between_experiments(self):
+        assert EXPERIMENT_2.npn_sites > EXPERIMENT_1.npn_sites
+        assert EXPERIMENT_2.headers_sites > EXPERIMENT_1.headers_sites
+        assert EXPERIMENT_2.server_kinds > EXPERIMENT_1.server_kinds
+
+    def test_h2_site_estimate_bounds(self, data):
+        union = data.h2_site_estimate()
+        assert union >= max(data.npn_sites, data.alpn_sites)
+        assert union <= data.npn_sites + data.alpn_sites
+
+    def test_lookup_helper(self):
+        assert experiment_data(1) is EXPERIMENT_1
+        assert experiment_data(2) is EXPERIMENT_2
+        with pytest.raises(ValueError):
+            experiment_data(3)

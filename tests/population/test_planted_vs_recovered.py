@@ -1,0 +1,117 @@
+"""Closed-loop validation: H2Scope must recover what the generator planted.
+
+This is the keystone of the reproduction methodology (DESIGN.md §4):
+the population's ground truth comes from the paper's aggregates, so a
+correct scanner recovers the planted per-site behaviours exactly.
+"""
+
+import pytest
+
+from repro.population import PopulationConfig, make_population
+from repro.scope.report import ErrorReaction, TinyWindowResult
+from repro.scope.scanner import scan_population
+from repro.servers.profiles import TinyWindowBehavior
+
+
+@pytest.fixture(scope="module")
+def scanned():
+    config = PopulationConfig(experiment=1, n_sites=60, seed=31)
+    sites = make_population(config)
+    responsive = [s for s in sites if s.truth["responsive"]]
+    reports = scan_population(
+        responsive,
+        include={"negotiation", "settings", "flow_control", "priority", "hpack"},
+        seed=4,
+    )
+    return list(zip(responsive, reports))
+
+
+class TestPerSiteRecovery:
+    def test_negotiation_flags_recovered(self, scanned):
+        for site, report in scanned:
+            assert report.negotiation.alpn_h2 == site.truth["supports_alpn"], site.domain
+            assert report.negotiation.npn_h2 == site.truth["supports_npn"], site.domain
+
+    def test_server_header_recovered(self, scanned):
+        for site, report in scanned:
+            assert report.negotiation.server_header == site.profile.server_header
+
+    def test_settings_recovered_exactly(self, scanned):
+        for site, report in scanned:
+            planted = site.truth["settings"]
+            if planted is None:
+                assert not report.settings.settings_frame_received, site.domain
+            else:
+                assert report.settings.announced == planted, site.domain
+
+    def test_tiny_window_behaviour_recovered(self, scanned):
+        mapping = {
+            TinyWindowBehavior.SEND_WINDOW_SIZED.value: TinyWindowResult.WINDOW_SIZED_DATA,
+            TinyWindowBehavior.SEND_EMPTY.value: TinyWindowResult.ZERO_LENGTH_DATA,
+            TinyWindowBehavior.SILENT.value: TinyWindowResult.NO_RESPONSE,
+        }
+        for site, report in scanned:
+            expected = mapping[site.truth["tiny_window_behavior"]]
+            assert report.flow_control.tiny_window is expected, site.domain
+
+    def test_zero_window_headers_recovered(self, scanned):
+        for site, report in scanned:
+            planted_compliant = not site.truth["flow_control_on_headers"]
+            assert report.flow_control.headers_with_zero_window == planted_compliant
+
+    def test_zero_window_update_reaction_recovered(self, scanned):
+        mapping = {
+            "rst_stream": ErrorReaction.RST_STREAM,
+            "goaway": ErrorReaction.GOAWAY,
+            "ignore": ErrorReaction.IGNORE,
+        }
+        for site, report in scanned:
+            expected = mapping[site.truth["zero_wu_stream"]]
+            assert report.flow_control.zero_update_stream is expected, site.domain
+
+    def test_overflow_reactions_recovered(self, scanned):
+        for site, report in scanned:
+            if site.truth["overflow_stream"] == "rst_stream":
+                assert (
+                    report.flow_control.large_update_stream
+                    is ErrorReaction.RST_STREAM
+                )
+            if site.truth["overflow_connection"] == "goaway":
+                assert (
+                    report.flow_control.large_update_connection
+                    is ErrorReaction.GOAWAY
+                )
+
+    def test_self_dependency_recovered(self, scanned):
+        mapping = {
+            "rst_stream": ErrorReaction.RST_STREAM,
+            "goaway": ErrorReaction.GOAWAY,
+            "ignore": ErrorReaction.IGNORE,
+        }
+        for site, report in scanned:
+            expected = mapping[site.truth["self_dependency"]]
+            assert report.priority.self_dependency is expected, site.domain
+
+    def test_scheduler_mode_recovered(self, scanned):
+        for site, report in scanned:
+            mode = site.truth["scheduler_mode"]
+            if mode == "strict":
+                assert report.priority.follows_rules_by_both
+            elif mode == "wfq":
+                assert report.priority.follows_rules_by_last
+                assert not report.priority.follows_rules_by_first
+            else:
+                assert not report.priority.follows_rules_by_last
+
+    def test_hpack_policy_recovered(self, scanned):
+        for site, report in scanned:
+            if report.hpack.ratio is None or report.hpack.ratio > 1.0:
+                continue  # cookie sites are filtered, as in the paper
+            if not site.truth["hpack_index_responses"]:
+                assert report.hpack.ratio == pytest.approx(1.0), site.domain
+            elif site.profile.response_header_noise == 0.0:
+                assert report.hpack.ratio < 0.5, site.domain
+
+    def test_no_scan_errors(self, scanned):
+        for site, report in scanned:
+            assert report.errors == [], (site.domain, report.errors)

@@ -1,0 +1,140 @@
+"""Algorithm 1 integration: the server really builds the paper's trees.
+
+The probe tests assert verdicts; these assert the *mechanism* — after
+H2Scope's frames, the server's dependency tree must be exactly the
+paper's Fig. 1 structures.
+"""
+
+import pytest
+
+from repro.h2 import events as ev
+from repro.h2.constants import MAX_WINDOW_SIZE
+from repro.h2.frames import PriorityData
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.scope.probes.priority import INITIAL_CONNECTION_WINDOW
+from repro.servers.site import Site, deploy_site
+from repro.servers.vendors import h2o
+from repro.servers.website import testbed_website
+
+
+@pytest.fixture
+def deployed():
+    sim = Simulation()
+    network = Network(sim, seed=1)
+    site = Site(
+        domain="alg1.test",
+        profile=h2o(),
+        website=testbed_website(),
+        link=LinkProfile(rtt=0.02, bandwidth=50e6),
+    )
+    server = deploy_site(network, site)
+    client = ScopeClient(
+        network, "alg1.test", settings={4: MAX_WINDOW_SIZE}, auto_window_update=False
+    )
+    assert client.establish_h2()
+    return network, server, client
+
+
+def plant_table_one(client):
+    """Send the six prioritised requests of Table I; returns label->id."""
+    ids = {}
+    dependency = {"A": None, "B": "A", "C": "A", "D": "A", "E": "B", "F": "D"}
+    for index, label in enumerate("ABCDEF"):
+        parent = dependency[label]
+        ids[label] = client.request(
+            f"/large/{index}.bin",
+            priority=PriorityData(
+                depends_on=ids[parent] if parent else 0, weight=1
+            ),
+        )
+    client.sim.run(until=client.sim.now + 1.0)
+    return ids
+
+
+def server_tree(server):
+    conn = server.connections[0].conn
+    assert conn is not None
+    return conn.priority_tree
+
+
+class TestTableIPlanting:
+    def test_server_builds_fig1_tree_1(self, deployed):
+        network, server, client = deployed
+        ids = plant_table_one(client)
+        tree = server_tree(server)
+        assert tree.parent_of(ids["A"]) == 0
+        assert sorted(tree.children_of(ids["A"])) == sorted(
+            [ids["B"], ids["C"], ids["D"]]
+        )
+        assert tree.children_of(ids["B"]) == [ids["E"]]
+        assert tree.children_of(ids["D"]) == [ids["F"]]
+        for label in "ABCDEF":
+            assert tree.weight_of(ids[label]) == 1
+
+
+class TestTableIIReprioritisation:
+    def test_exclusive_priority_frame_gives_fig1_tree_2(self, deployed):
+        """Table II row 1: A depends on B, exclusive -> Fig. 1 (2)."""
+        network, server, client = deployed
+        ids = plant_table_one(client)
+        client.send_priority(ids["A"], depends_on=ids["B"], weight=1, exclusive=True)
+        client.sim.run(until=client.sim.now + 1.0)
+        tree = server_tree(server)
+        assert tree.parent_of(ids["B"]) == 0
+        assert tree.children_of(ids["B"]) == [ids["A"]]
+        assert sorted(tree.children_of(ids["A"])) == sorted(
+            [ids["C"], ids["D"], ids["E"]]
+        )
+        assert tree.children_of(ids["D"]) == [ids["F"]]
+
+    def test_non_exclusive_priority_frame_gives_fig1_tree_3(self, deployed):
+        """Table II row 2: A depends on B, non-exclusive -> Fig. 1 (3)."""
+        network, server, client = deployed
+        ids = plant_table_one(client)
+        client.send_priority(ids["A"], depends_on=ids["B"], weight=1, exclusive=False)
+        client.sim.run(until=client.sim.now + 1.0)
+        tree = server_tree(server)
+        assert tree.parent_of(ids["B"]) == 0
+        assert sorted(tree.children_of(ids["B"])) == sorted([ids["E"], ids["A"]])
+        assert sorted(tree.children_of(ids["A"])) == sorted([ids["C"], ids["D"]])
+
+
+class TestWindowDepletionMechanism:
+    def test_connection_window_blocks_all_streams(self, deployed):
+        """§III-C: once the connection window is zero, no stream sends
+        DATA even with huge per-stream windows."""
+        network, server, client = deployed
+        sid = client.request("/large/0.bin")
+        client.wait_for(
+            lambda: sum(
+                te.event.flow_controlled_length
+                for te in client.events_of(ev.DataReceived)
+            )
+            >= INITIAL_CONNECTION_WINDOW,
+            timeout=30,
+        )
+        received = sum(
+            te.event.flow_controlled_length
+            for te in client.events_of(ev.DataReceived)
+        )
+        assert received == INITIAL_CONNECTION_WINDOW
+        # Another request cannot receive anything either.
+        other = client.request("/large/1.bin")
+        network.sim.run(until=network.sim.now + 2.0)
+        assert client.data_for(other) == b""
+
+    def test_window_update_releases_everything(self, deployed):
+        network, server, client = deployed
+        sid = client.request("/large/0.bin")
+        network.sim.run(until=network.sim.now + 2.0)
+        client.send_window_update(0, MAX_WINDOW_SIZE - INITIAL_CONNECTION_WINDOW)
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            ),
+            timeout=60,
+        )
+        assert len(client.data_for(sid)) == testbed_website().get("/large/0.bin").size

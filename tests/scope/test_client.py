@@ -1,0 +1,129 @@
+"""ScopeClient mechanics (connection setup, logging, waiting)."""
+
+from repro.h2 import events as ev
+from repro.h2.frames import DataFrame, HeadersFrame
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import default_website
+
+
+def make_network(profile=None, rtt=0.05):
+    sim = Simulation()
+    network = Network(sim, seed=3)
+    site = Site(
+        domain="probe.test",
+        profile=profile or ServerProfile(),
+        website=default_website(),
+        link=LinkProfile(rtt=rtt, bandwidth=20e6),
+    )
+    deploy_site(network, site)
+    return network
+
+
+class TestConnectionSetup:
+    def test_connect_records_tcp_rtt(self):
+        network = make_network(rtt=0.08)
+        client = ScopeClient(network, "probe.test")
+        assert client.connect()
+        assert abs(client.tls.tcp_handshake_rtt - 0.08) < 0.005
+
+    def test_connect_failure_to_unknown_host(self):
+        network = make_network()
+        client = ScopeClient(network, "ghost.test")
+        assert not client.connect(timeout=2)
+
+    def test_establish_h2(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test")
+        assert client.establish_h2()
+        assert client.tls.chosen == "h2"
+        assert client.events_of(ev.SettingsReceived)
+
+    def test_alpn_only_client(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test", offer_npn=False)
+        client.connect()
+        tls = client.tls_handshake()
+        assert tls.alpn_protocol == "h2"
+        assert tls.npn_protocol is None
+
+    def test_npn_only_client(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test", alpn=[])
+        client.connect()
+        tls = client.tls_handshake()
+        assert tls.alpn_protocol is None
+        assert tls.npn_protocol == "h2"
+        assert tls.mechanism == "npn"
+
+
+class TestLoggingAndInspection:
+    def test_events_are_timestamped(self):
+        network = make_network(rtt=0.1)
+        client = ScopeClient(network, "probe.test")
+        client.establish_h2()
+        assert all(te.at >= 0 for te in client.events)
+        assert client.events[0].at >= 0.1  # at least one RTT in
+
+    def test_frames_logged_alongside_events(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test")
+        client.establish_h2()
+        sid = client.request("/style.css")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert any(isinstance(tf.frame, HeadersFrame) for tf in client.frames)
+
+    def test_data_for_concatenates_stream_payload(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test", auto_window_update=True)
+        client.establish_h2()
+        sid = client.request("/style.css")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            )
+        )
+        assert client.data_for(sid) == default_website().get("/style.css").body()
+
+    def test_stream_events_filter(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test", auto_window_update=True)
+        client.establish_h2()
+        a = client.request("/logo.png")
+        b = client.request("/style.css")
+        client.wait_for(
+            lambda: {
+                te.event.stream_id
+                for te in client.events
+                if isinstance(te.event, ev.StreamEnded)
+            }
+            >= {a, b}
+        )
+        only_a = client.stream_events(a, ev.DataReceived)
+        assert only_a
+        assert all(te.event.stream_id == a for te in only_a)
+
+    def test_settle_returns_after_quiet_period(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test")
+        client.establish_h2()
+        before = network.sim.now
+        client.settle(quiet_period=0.5, timeout=5)
+        assert network.sim.now - before <= 5.5
+
+    def test_errors_recorded_not_raised(self):
+        network = make_network()
+        client = ScopeClient(network, "probe.test")
+        client.establish_h2()
+        # Inject garbage that fails HPACK decoding: HEADERS referencing
+        # an invalid index on a new stream.
+        server_conn = network.hosts["probe.test"]  # just to assert setup
+        bogus = HeadersFrame(stream_id=9, flags=4, header_block=b"\xff\xff\xff")
+        from repro.h2.frames import serialize_frame
+
+        client._on_data(serialize_frame(bogus))
+        assert client.errors

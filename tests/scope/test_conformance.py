@@ -1,0 +1,112 @@
+"""RFC conformance suite against the six vendor models."""
+
+import pytest
+
+from repro.scope.conformance import Level, Verdict, run_conformance
+from tests.scope.conftest import TEST_PATHS, deploy_vendor
+
+
+def run_vendor(vendor):
+    network, domain = deploy_vendor(vendor)
+    return run_conformance(
+        network,
+        domain,
+        large_path="/large/0.bin",
+        multiplex_paths=TEST_PATHS[:3],
+    )
+
+
+def verdicts(report):
+    return {r.check_id: r.verdict for r in report.results}
+
+
+class TestVendorConformance:
+    def test_no_vendor_fully_conformant(self, vendor):
+        report = run_vendor(vendor)
+        assert not report.fully_conformant, report.summary()
+
+    def test_universal_passes(self, vendor):
+        v = verdicts(run_vendor(vendor))
+        # Every Table III server gets these right.
+        for check in (
+            "tls-alpn",
+            "preface-settings",
+            "settings-ack",
+            "ping-echo",
+            "flow-control-data",
+            "overflow-stream",
+            "overflow-connection",
+            "multiplexing",
+        ):
+            assert v[check] is Verdict.PASS, check
+
+    def test_nginx_failures_localized(self):
+        v = verdicts(run_vendor("nginx"))
+        assert v["zero-window-update"] is Verdict.FAIL  # ignores it
+        assert v["self-dependency"] is Verdict.PASS
+        assert v["headers-exempt"] is Verdict.PASS
+
+    def test_litespeed_headers_flow_control_flagged(self):
+        v = verdicts(run_vendor("litespeed"))
+        assert v["headers-exempt"] is Verdict.FAIL
+        assert v["zero-window-update"] is Verdict.PASS
+        assert v["self-dependency"] is Verdict.FAIL  # ignored
+
+    def test_nghttpd_goaway_on_stream_error_flagged(self):
+        v = verdicts(run_vendor("nghttpd"))
+        # GOAWAY where the RFC prescribes a *stream* error.
+        assert v["zero-window-update"] is Verdict.FAIL
+        assert v["self-dependency"] is Verdict.FAIL
+
+    def test_h2o_is_closest_to_conformant(self):
+        failures = {
+            vendor: sum(
+                1
+                for r in run_vendor(vendor).results
+                if r.verdict is Verdict.FAIL
+            )
+            for vendor in ("nginx", "litespeed", "h2o", "nghttpd", "tengine", "apache")
+        }
+        assert failures["h2o"] == min(failures.values())
+
+    def test_concurrent_floor_respected_by_all(self, vendor):
+        v = verdicts(run_vendor(vendor))
+        assert v["concurrent-floor"] is Verdict.PASS
+
+
+class TestReportShape:
+    def test_every_check_has_rfc_section(self):
+        report = run_vendor("h2o")
+        for result in report.results:
+            assert result.section.startswith("§")
+            assert result.description
+
+    def test_summary_renders(self):
+        report = run_vendor("apache")
+        text = report.summary()
+        assert "RFC 7540 conformance report" in text
+        assert "MUST:" in text
+
+    def test_must_counters(self):
+        report = run_vendor("h2o")
+        musts = [r for r in report.results if r.level is Level.MUST]
+        assert report.musts_passed + report.musts_failed == len(
+            [m for m in musts if m.verdict is not Verdict.SKIP]
+        )
+
+    def test_skip_when_no_multiplex_paths(self):
+        network, domain = deploy_vendor("h2o")
+        report = run_conformance(network, domain, large_path="/large/0.bin")
+        v = {r.check_id: r.verdict for r in report.results}
+        assert v["multiplexing"] is Verdict.SKIP
+
+    def test_unreachable_target_all_skip_or_fail(self):
+        from repro.net.clock import Simulation
+        from repro.net.transport import Network
+
+        network = Network(Simulation(), seed=1)
+        report = run_conformance(network, "nowhere.test")
+        assert not report.fully_conformant
+        assert all(
+            r.verdict in (Verdict.FAIL, Verdict.SKIP) for r in report.results
+        )

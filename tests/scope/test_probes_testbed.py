@@ -1,0 +1,304 @@
+"""Probe outcomes against the six testbed vendors == Table III.
+
+Every test here is a paper-level assertion: H2Scope's probes, run
+against the vendor behaviour models, must reproduce the corresponding
+Table III cell.
+"""
+
+import pytest
+
+from repro.scope.probes import (
+    probe_hpack,
+    probe_large_window_update,
+    probe_multiplexing,
+    probe_negotiation,
+    probe_ping,
+    probe_priority,
+    probe_push,
+    probe_self_dependency,
+    probe_settings,
+    probe_tiny_window,
+    probe_zero_window_headers,
+    probe_zero_window_update,
+)
+from repro.scope.report import ErrorReaction, TinyWindowResult
+
+from tests.scope.conftest import DEPLETION_PATHS, TEST_PATHS, deploy_vendor
+
+
+class TestNegotiationRow:
+    def test_alpn_supported_by_all(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_negotiation(network, domain)
+        assert result.alpn_h2
+
+    def test_npn_supported_except_apache(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_negotiation(network, domain)
+        assert result.npn_h2 == (vendor != "apache")
+
+    def test_headers_and_server_name(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_negotiation(network, domain)
+        assert result.headers_received
+        assert result.server_header is not None
+
+
+class TestMultiplexingRow:
+    def test_all_vendors_interleave(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_multiplexing(network, domain, TEST_PATHS[:4])
+        assert result.interleaved
+
+    def test_arrival_pattern_covers_all_streams(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_multiplexing(network, domain, TEST_PATHS[:3])
+        assert len(set(result.arrival_pattern)) == 3
+
+
+class TestFlowControlRows:
+    def test_data_frames_sized_to_window(self, vendor):
+        # Sframe=64 exceeds LiteSpeed's hold threshold, so even it replies.
+        network, domain = deploy_vendor(vendor)
+        category, size, _ = probe_tiny_window(
+            network, domain, sframe=64, path="/large/0.bin"
+        )
+        assert category is TinyWindowResult.WINDOW_SIZED_DATA
+        assert size == 64
+
+    def test_litespeed_silent_at_one_octet(self):
+        network, domain = deploy_vendor("litespeed")
+        category, _, headers = probe_tiny_window(network, domain, sframe=1)
+        assert category is TinyWindowResult.NO_RESPONSE
+        assert not headers
+
+    def test_zero_window_headers_compliance(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        compliant = probe_zero_window_headers(network, domain, path="/large/0.bin")
+        assert compliant == (vendor != "litespeed")
+
+    ZERO_WU_STREAM = {
+        "nginx": ErrorReaction.IGNORE,
+        "tengine": ErrorReaction.IGNORE,
+        "litespeed": ErrorReaction.RST_STREAM,
+        "h2o": ErrorReaction.RST_STREAM,
+        "nghttpd": ErrorReaction.GOAWAY,
+        "apache": ErrorReaction.GOAWAY,
+    }
+
+    def test_zero_window_update_on_stream(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        reaction, _ = probe_zero_window_update(
+            network, domain, level="stream", path="/large/1.bin"
+        )
+        assert reaction is self.ZERO_WU_STREAM[vendor]
+
+    ZERO_WU_CONN = {
+        "nginx": ErrorReaction.IGNORE,
+        "tengine": ErrorReaction.IGNORE,
+        "litespeed": ErrorReaction.GOAWAY,
+        "h2o": ErrorReaction.GOAWAY,
+        "nghttpd": ErrorReaction.GOAWAY,
+        "apache": ErrorReaction.GOAWAY,
+    }
+
+    def test_zero_window_update_on_connection(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        reaction, _ = probe_zero_window_update(
+            network, domain, level="connection", path="/large/1.bin"
+        )
+        assert reaction is self.ZERO_WU_CONN[vendor]
+
+    def test_large_window_update_stream_rst(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        reaction = probe_large_window_update(
+            network, domain, level="stream", path="/large/2.bin"
+        )
+        assert reaction is ErrorReaction.RST_STREAM
+
+    def test_large_window_update_connection_goaway(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        reaction = probe_large_window_update(
+            network, domain, level="connection", path="/large/2.bin"
+        )
+        assert reaction is ErrorReaction.GOAWAY
+
+
+class TestPriorityRows:
+    PASSES = {"h2o", "nghttpd", "apache"}
+
+    def test_algorithm1(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_priority(network, domain, TEST_PATHS, DEPLETION_PATHS)
+        assert result.passes_algorithm1 == (vendor in self.PASSES)
+
+    def test_strict_servers_pass_by_both_rules(self):
+        network, domain = deploy_vendor("h2o")
+        result = probe_priority(network, domain, TEST_PATHS, DEPLETION_PATHS)
+        assert result.follows_rules_by_first
+        assert result.follows_rules_by_last
+        assert result.follows_rules_by_both
+        assert result.first_frame_order[0] == "D"
+        assert result.first_frame_order[1] == "A"
+
+    def test_fcfs_server_serves_in_request_order(self):
+        network, domain = deploy_vendor("nginx")
+        result = probe_priority(network, domain, TEST_PATHS, DEPLETION_PATHS)
+        assert result.first_frame_order == ["A", "B", "C", "D", "E", "F"]
+
+    SELF_DEP = {
+        "nginx": ErrorReaction.RST_STREAM,
+        "tengine": ErrorReaction.RST_STREAM,
+        "litespeed": ErrorReaction.IGNORE,
+        "h2o": ErrorReaction.GOAWAY,
+        "nghttpd": ErrorReaction.GOAWAY,
+        "apache": ErrorReaction.GOAWAY,
+    }
+
+    def test_self_dependency(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        reaction = probe_self_dependency(network, domain, path="/large/3.bin")
+        assert reaction is self.SELF_DEP[vendor]
+
+
+class TestPushRow:
+    PUSHERS = {"h2o", "nghttpd", "apache"}
+
+    def test_push(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_push(network, domain)
+        assert result.push_received == (vendor in self.PUSHERS)
+
+    def test_pushed_paths_resolve(self):
+        network, domain = deploy_vendor("h2o")
+        result = probe_push(network, domain)
+        assert set(result.promised_paths) == {"/style.css", "/app.js"}
+
+
+class TestHpackRow:
+    def test_nginx_lineage_ratio_is_one(self):
+        for vendor in ("nginx", "tengine"):
+            network, domain = deploy_vendor(vendor)
+            result = probe_hpack(network, domain)
+            assert result.ratio == pytest.approx(1.0)
+
+    def test_indexing_vendors_compress_well(self):
+        for vendor in ("h2o", "nghttpd", "apache", "litespeed"):
+            network, domain = deploy_vendor(vendor)
+            result = probe_hpack(network, domain)
+            assert result.ratio < 0.5, vendor
+
+    def test_ratio_uses_equation_1(self):
+        network, domain = deploy_vendor("h2o")
+        result = probe_hpack(network, domain, repetitions=4)
+        sizes = result.header_sizes
+        assert result.ratio == pytest.approx(sum(sizes) / (sizes[0] * 4))
+
+
+class TestPingRow:
+    def test_all_vendors_answer_ping(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_ping(network, domain, samples=2)
+        assert result.ping_supported
+
+    def test_ping_close_to_tcp_and_icmp(self):
+        network, domain = deploy_vendor("nginx")
+        result = probe_ping(network, domain, samples=2)
+        assert result.h2_ping_rtt == pytest.approx(result.tcp_rtt, rel=0.05)
+        assert result.h2_ping_rtt == pytest.approx(result.icmp_rtt, rel=0.05)
+
+    def test_http1_estimate_inflated_by_processing(self):
+        network, domain = deploy_vendor("apache")
+        result = probe_ping(network, domain, samples=2)
+        assert result.http1_rtt > result.h2_ping_rtt * 1.1
+
+
+class TestSettingsProbe:
+    def test_announced_settings_recorded(self, vendor):
+        network, domain = deploy_vendor(vendor)
+        result = probe_settings(network, domain)
+        assert result.settings_frame_received
+        assert result.announced  # every testbed vendor announces something
+
+    def test_nginx_announces_zero_initial_window(self):
+        network, domain = deploy_vendor("nginx")
+        result = probe_settings(network, domain)
+        assert result.announced[4] == 0
+
+
+class TestH2cRow:
+    def test_testbed_vendors_decline_h2c_by_default(self, vendor):
+        # Default profiles serve cleartext HTTP/1.1 but decline the
+        # Upgrade (the paper's probes all run over TLS).
+        network, domain = deploy_vendor(vendor)
+        result = probe_negotiation(network, domain)
+        assert result.h2c_upgrade is False
+
+    def test_h2c_enabled_profile_detected(self):
+        from repro.net.clock import Simulation
+        from repro.net.transport import Network
+        from repro.servers.site import Site, deploy_site
+        from repro.servers.vendors import nghttpd
+        from repro.servers.website import testbed_website
+
+        sim = Simulation()
+        network = Network(sim, seed=1)
+        site = Site(
+            domain="h2c.testbed",
+            profile=nghttpd().clone(supports_h2c=True),
+            website=testbed_website(),
+        )
+        deploy_site(network, site)
+        result = probe_negotiation(network, "h2c.testbed")
+        assert result.h2c_upgrade is True
+        assert result.alpn_h2
+
+
+class TestMaxConcurrentStreamsExercise:
+    """§V-A's last paragraph: Nginx/Tengine with MAX_CONCURRENT_STREAMS
+    forced to 0 or 1 refuse excess requests with RST_STREAM."""
+
+    def _deploy(self, limit):
+        from repro.h2.constants import SettingCode
+        from repro.net.clock import Simulation
+        from repro.net.transport import Network
+        from repro.servers.site import Site, deploy_site
+        from repro.servers.vendors import nginx
+        from repro.servers.website import testbed_website
+        from repro.scope.client import ScopeClient
+
+        sim = Simulation()
+        network = Network(sim, seed=2)
+        profile = nginx()
+        profile.settings[int(SettingCode.MAX_CONCURRENT_STREAMS)] = limit
+        profile.processing_delay = 0.3  # keep streams concurrently active
+        profile.processing_jitter = 0.0
+        site = Site(domain="mcs.test", profile=profile, website=testbed_website())
+        deploy_site(network, site)
+        client = ScopeClient(network, "mcs.test")
+        assert client.establish_h2()
+        return client
+
+    def test_limit_zero_refuses_first_request(self):
+        from repro.h2 import events as ev
+
+        client = self._deploy(0)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.StreamReset) for te in client.events)
+        )
+        resets = [te.event for te in client.events if isinstance(te.event, ev.StreamReset)]
+        assert resets and resets[0].stream_id == sid
+
+    def test_limit_one_refuses_second_simultaneous_request(self):
+        from repro.h2 import events as ev
+
+        client = self._deploy(1)
+        first = client.request("/")
+        second = client.request("/style.css")
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.StreamReset) for te in client.events)
+        )
+        resets = {te.event.stream_id for te in client.events if isinstance(te.event, ev.StreamReset)}
+        assert second in resets
+        assert first not in resets

@@ -1,0 +1,101 @@
+"""Scanner composition: per-site universes, probe selection, resilience."""
+
+import pytest
+
+from repro.scope.report import SiteReport
+from repro.scope.scanner import ALL_PROBES, scan_population, scan_site
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site
+from repro.servers.website import Resource, default_website, testbed_website
+
+
+def make_site(domain="scan.test", profile=None):
+    return Site(
+        domain=domain,
+        profile=profile or ServerProfile(),
+        website=testbed_website(),
+    )
+
+
+class TestScanSite:
+    def test_full_scan_produces_report(self):
+        report = scan_site(
+            make_site(),
+            priority_test_paths=[f"/large/{i}.bin" for i in range(6)],
+            priority_depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
+        )
+        assert isinstance(report, SiteReport)
+        assert report.errors == []
+        assert report.speaks_h2
+        assert report.negotiation.headers_received
+        assert report.settings.settings_frame_received
+        assert report.hpack.ratio is not None
+        assert report.ping.ping_supported
+
+    def test_include_limits_probes(self):
+        report = scan_site(make_site(), include={"negotiation"})
+        assert report.speaks_h2
+        assert not report.settings.settings_frame_received  # probe skipped
+        assert report.hpack.ratio is None
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError):
+            scan_site(make_site(), include={"negotiation", "frobnicate"})
+
+    def test_non_h2_site_short_circuits(self):
+        report = scan_site(make_site(profile=ServerProfile(supports_h2=False)))
+        assert not report.speaks_h2
+        assert report.flow_control.tiny_window is None
+
+    def test_priority_skipped_without_test_objects(self):
+        site = Site(domain="small.test", profile=ServerProfile(), website=default_website())
+        report = scan_site(site, include={"negotiation", "priority"})
+        # Algorithm 1 skipped (no /prio objects) but self-dependency runs.
+        assert report.priority.last_frame_order == []
+        assert report.priority.self_dependency is not None
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(
+            priority_test_paths=[f"/large/{i}.bin" for i in range(6)],
+            priority_depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
+            seed=11,
+        )
+        a = scan_site(make_site(), **kwargs)
+        b = scan_site(make_site(), **kwargs)
+        assert a.hpack.header_sizes == b.hpack.header_sizes
+        assert a.priority.last_frame_order == b.priority.last_frame_order
+
+    def test_all_probes_constant_matches_scanner(self):
+        assert ALL_PROBES == {
+            "negotiation",
+            "settings",
+            "flow_control",
+            "priority",
+            "push",
+            "hpack",
+            "ping",
+        }
+
+
+class TestScanPopulation:
+    def test_reports_in_input_order(self):
+        sites = [make_site(domain=f"s{i}.test") for i in range(3)]
+        reports = scan_population(sites, include={"negotiation"})
+        assert [r.domain for r in reports] == [f"s{i}.test" for i in range(3)]
+
+    def test_progress_callback(self):
+        sites = [make_site(domain=f"s{i}.test") for i in range(5)]
+        seen = []
+        scan_population(
+            sites,
+            include={"negotiation"},
+            workers=2,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (5, 5)
+
+    def test_sites_isolated_from_each_other(self):
+        # Same domain twice: would collide if they shared a network.
+        sites = [make_site(domain="same.test"), make_site(domain="same.test")]
+        reports = scan_population(sites, include={"negotiation"})
+        assert all(r.negotiation.headers_received for r in reports)

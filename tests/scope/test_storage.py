@@ -1,0 +1,128 @@
+"""Report persistence (§IV-B's database)."""
+
+import pytest
+
+from repro.scope.report import (
+    ErrorReaction,
+    NegotiationResult,
+    SiteReport,
+    TinyWindowResult,
+)
+from repro.scope.scanner import scan_site
+from repro.scope.storage import ReportStore
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site
+from repro.servers.website import testbed_website
+
+
+@pytest.fixture
+def scanned_report():
+    site = Site(domain="store.test", profile=ServerProfile(), website=testbed_website())
+    return scan_site(
+        site,
+        priority_test_paths=[f"/large/{i}.bin" for i in range(6)],
+        priority_depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
+    )
+
+
+class TestRoundTrip:
+    def test_full_report_roundtrips(self, scanned_report):
+        with ReportStore() as store:
+            store.save("exp1", scanned_report)
+            loaded = store.load("exp1", "store.test")
+        assert loaded is not None
+        assert loaded.domain == scanned_report.domain
+        assert loaded.negotiation == scanned_report.negotiation
+        assert loaded.settings == scanned_report.settings
+        assert loaded.flow_control == scanned_report.flow_control
+        assert loaded.priority == scanned_report.priority
+        assert loaded.hpack == scanned_report.hpack
+        assert loaded.push == scanned_report.push
+
+    def test_enums_survive(self, scanned_report):
+        with ReportStore() as store:
+            store.save("exp1", scanned_report)
+            loaded = store.load("exp1", "store.test")
+        assert isinstance(loaded.flow_control.tiny_window, TinyWindowResult)
+        assert isinstance(loaded.flow_control.zero_update_stream, ErrorReaction)
+
+    def test_bytes_survive(self):
+        report = SiteReport(domain="b.test")
+        report.flow_control.zero_update_debug_data = b"\x00\xffdebug"
+        with ReportStore() as store:
+            store.save("exp1", report)
+            loaded = store.load("exp1", "b.test")
+        assert loaded.flow_control.zero_update_debug_data == b"\x00\xffdebug"
+
+    def test_missing_report_is_none(self):
+        with ReportStore() as store:
+            assert store.load("exp1", "ghost.test") is None
+
+    def test_save_is_idempotent_per_campaign(self, scanned_report):
+        with ReportStore() as store:
+            store.save("exp1", scanned_report)
+            store.save("exp1", scanned_report)
+            assert store.count("exp1") == 1
+
+    def test_on_disk_persistence(self, scanned_report, tmp_path):
+        path = tmp_path / "scan.sqlite"
+        with ReportStore(path) as store:
+            store.save("exp1", scanned_report)
+        with ReportStore(path) as store:
+            assert store.count("exp1") == 1
+            assert store.load("exp1", "store.test") is not None
+
+
+class TestCampaigns:
+    def make_report(self, domain, server="nginx/1.9.15", headers=True):
+        return SiteReport(
+            domain=domain,
+            negotiation=NegotiationResult(
+                tcp_connected=True,
+                alpn_h2=True,
+                headers_received=headers,
+                server_header=server,
+            ),
+        )
+
+    def test_two_campaigns_isolated(self):
+        with ReportStore() as store:
+            store.save("exp1", self.make_report("a.test"))
+            store.save("exp2", self.make_report("a.test"))
+            store.save("exp2", self.make_report("b.test"))
+            assert store.count("exp1") == 1
+            assert store.count("exp2") == 2
+            assert store.campaigns() == ["exp1", "exp2"]
+
+    def test_server_header_counts(self):
+        with ReportStore() as store:
+            for i in range(3):
+                store.save("exp1", self.make_report(f"n{i}.test", "nginx/1.9.15"))
+            store.save("exp1", self.make_report("l.test", "LiteSpeed"))
+            store.save("exp1", self.make_report("mute.test", headers=False))
+            counts = store.server_header_counts("exp1")
+        assert counts["nginx/1.9.15"] == 3
+        assert counts["LiteSpeed"] == 1
+        assert "mute" not in str(counts)
+
+    def test_headers_only_count(self):
+        with ReportStore() as store:
+            store.save("exp1", self.make_report("a.test", headers=True))
+            store.save("exp1", self.make_report("b.test", headers=False))
+            assert store.count("exp1") == 2
+            assert store.count("exp1", headers_only=True) == 1
+
+    def test_hpack_ratio_query(self):
+        with ReportStore() as store:
+            report = self.make_report("a.test")
+            report.hpack.ratio = 0.25
+            store.save("exp1", report)
+            store.save("exp1", self.make_report("b.test"))
+            assert store.hpack_ratios("exp1") == [0.25]
+
+    def test_load_campaign_ordered(self):
+        with ReportStore() as store:
+            for name in ("c.test", "a.test", "b.test"):
+                store.save("exp1", self.make_report(name))
+            loaded = store.load_campaign("exp1")
+        assert [r.domain for r in loaded] == ["a.test", "b.test", "c.test"]

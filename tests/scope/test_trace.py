@@ -1,0 +1,118 @@
+"""Frame-trace rendering."""
+
+from repro.h2.constants import FrameFlag
+from repro.h2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityData,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    UnknownFrame,
+    WindowUpdateFrame,
+)
+from repro.scope.client import ScopeClient, TimedFrame
+from repro.scope.trace import describe_frame, render_trace
+from repro.net.clock import Simulation
+from repro.net.transport import Network
+from repro.servers.profiles import ServerProfile
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import default_website
+
+
+class TestDescribeFrame:
+    def test_data(self):
+        line = describe_frame(
+            DataFrame(stream_id=5, flags=FrameFlag.END_STREAM, data=b"abc")
+        )
+        assert "DATA" in line and "stream=5" in line
+        assert "end_stream" in line and "len=3" in line
+
+    def test_headers_with_priority(self):
+        line = describe_frame(
+            HeadersFrame(
+                stream_id=3,
+                flags=FrameFlag.END_HEADERS,
+                header_block=b"xx",
+                priority=PriorityData(depends_on=1, weight=12, exclusive=True),
+            )
+        )
+        assert "dep=1" in line and "w=12" in line and "excl" in line
+
+    def test_settings_names_resolved(self):
+        line = describe_frame(SettingsFrame(settings=[(3, 100), (4, 65535)]))
+        assert "MAX_CONCURRENT_STREAMS=100" in line
+        assert "INITIAL_WINDOW_SIZE=65535" in line
+
+    def test_settings_ack(self):
+        assert "ack" in describe_frame(SettingsFrame(flags=FrameFlag.ACK))
+
+    def test_unknown_setting_hex(self):
+        assert "0x00f0=7" in describe_frame(SettingsFrame(settings=[(0xF0, 7)]))
+
+    def test_rst_error_named(self):
+        line = describe_frame(RstStreamFrame(stream_id=1, error_code=7))
+        assert "REFUSED_STREAM" in line
+
+    def test_goaway_with_debug(self):
+        line = describe_frame(
+            GoAwayFrame(last_stream_id=9, error_code=11, debug_data=b"calm down")
+        )
+        assert "ENHANCE_YOUR_CALM" in line and "calm down" in line
+
+    def test_window_update(self):
+        line = describe_frame(WindowUpdateFrame(stream_id=0, window_increment=0))
+        assert "increment=0" in line
+
+    def test_ping_payload_hex(self):
+        assert "6162636465666768" in describe_frame(PingFrame(payload=b"abcdefgh"))
+
+    def test_push_promise(self):
+        line = describe_frame(
+            PushPromiseFrame(stream_id=1, promised_stream_id=4, header_block=b"")
+        )
+        assert "promised=4" in line
+
+    def test_priority_frame(self):
+        line = describe_frame(
+            PriorityFrame(stream_id=9, priority=PriorityData(3, 256, False))
+        )
+        assert "PRIORITY" in line and "w=256" in line
+
+    def test_continuation_and_unknown(self):
+        assert "CONTINUATION" in describe_frame(ContinuationFrame(stream_id=1))
+        assert "UNKNOWN(0xee)" in describe_frame(
+            UnknownFrame(stream_id=2, type_code=0xEE, payload=b"zz")
+        )
+
+
+class TestRenderTrace:
+    def test_renders_timestamps_and_direction(self):
+        frames = [
+            TimedFrame(at=0.05, frame=PingFrame()),
+            TimedFrame(at=1.25, frame=SettingsFrame()),
+        ]
+        out = render_trace(frames, direction=">")
+        lines = out.splitlines()
+        assert lines[0].startswith("[   0.0500] >")
+        assert "SETTINGS" in lines[1]
+
+    def test_empty_trace(self):
+        assert render_trace([]) == ""
+
+    def test_real_probe_trace_is_renderable(self):
+        sim = Simulation()
+        network = Network(sim, seed=2)
+        site = Site(domain="t.test", profile=ServerProfile(), website=default_website())
+        deploy_site(network, site)
+        client = ScopeClient(network, "t.test", auto_window_update=True)
+        assert client.establish_h2()
+        sid = client.request("/style.css")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        out = render_trace(client.frames)
+        assert "SETTINGS" in out
+        assert "HEADERS" in out

@@ -1,0 +1,418 @@
+"""Server engine behaviour, exercised through real connections."""
+
+import pytest
+
+from repro.h2 import events as ev
+from repro.h2.connection import Reaction
+from repro.h2.constants import ErrorCode, SettingCode
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import ScopeClient
+from repro.servers.profiles import ServerProfile, TinyWindowBehavior
+from repro.servers.site import Site, deploy_site
+from repro.servers.website import Resource, Website, default_website
+
+IWS = int(SettingCode.INITIAL_WINDOW_SIZE)
+MCS = int(SettingCode.MAX_CONCURRENT_STREAMS)
+
+
+def deploy(profile: ServerProfile, website: Website | None = None, seed: int = 0):
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    site = Site(
+        domain="engine.test",
+        profile=profile,
+        website=website or default_website(),
+        link=LinkProfile(rtt=0.02, bandwidth=50e6),
+    )
+    deploy_site(network, site)
+    return network
+
+
+def connect(network, **client_kwargs) -> ScopeClient:
+    client = ScopeClient(network, "engine.test", **client_kwargs)
+    assert client.establish_h2()
+    return client
+
+
+class TestBasicServing:
+    def test_get_returns_resource_body(self):
+        network = deploy(ServerProfile())
+        client = connect(network, auto_window_update=True)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            )
+        )
+        resource = default_website().get("/")
+        assert client.data_for(sid) == resource.body()
+        headers = dict(client.headers_for(sid).headers)
+        assert headers[b":status"] == b"200"
+        assert headers[b"content-length"] == str(resource.size).encode()
+
+    def test_missing_path_is_404(self):
+        network = deploy(ServerProfile())
+        client = connect(network)
+        sid = client.request("/nope")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert dict(client.headers_for(sid).headers)[b":status"] == b"404"
+
+    def test_server_header_matches_profile(self):
+        network = deploy(ServerProfile(server_header="TestServer/9"))
+        client = connect(network)
+        sid = client.request("/")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert dict(client.headers_for(sid).headers)[b"server"] == b"TestServer/9"
+
+    def test_concurrent_requests_all_served(self):
+        network = deploy(ServerProfile())
+        client = connect(network, auto_window_update=True)
+        sids = [client.request(p) for p in ["/", "/style.css", "/app.js"]]
+        client.wait_for(
+            lambda: {
+                te.event.stream_id
+                for te in client.events
+                if isinstance(te.event, ev.StreamEnded)
+            }
+            >= set(sids),
+            timeout=30,
+        )
+        for sid in sids:
+            assert client.data_for(sid)
+
+    def test_data_frames_respect_max_frame_size(self):
+        network = deploy(ServerProfile())
+        client = connect(network, auto_window_update=True)
+        sid = client.request("/big.bin")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            ),
+            timeout=60,
+        )
+        sizes = [
+            len(te.event.data)
+            for te in client.events_of(ev.DataReceived)
+            if te.event.stream_id == sid
+        ]
+        assert max(sizes) <= 16_384
+
+
+class TestMaxConcurrent:
+    def test_excess_stream_refused(self):
+        profile = ServerProfile(
+            settings={MCS: 2, IWS: 65_536},
+            enforce_max_concurrent=True,
+            # Slow responses keep the first streams occupied.
+            processing_delay=0.5,
+            processing_jitter=0.0,
+        )
+        network = deploy(profile)
+        client = connect(network)
+        sids = [client.request("/") for _ in range(3)]
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.StreamReset) for te in client.events),
+            timeout=10,
+        )
+        resets = [
+            te.event for te in client.events if isinstance(te.event, ev.StreamReset)
+        ]
+        assert resets
+        assert resets[0].stream_id == sids[-1]
+        assert resets[0].error_code == int(ErrorCode.REFUSED_STREAM)
+
+    def test_zero_limit_refuses_everything(self):
+        profile = ServerProfile(settings={MCS: 0}, enforce_max_concurrent=True)
+        network = deploy(profile)
+        client = connect(network)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.StreamReset) for te in client.events)
+        )
+        assert any(
+            isinstance(te.event, ev.StreamReset) and te.event.stream_id == sid
+            for te in client.events
+        )
+
+
+class TestFlowControlQuirks:
+    def test_window_sized_behaviour(self):
+        network = deploy(ServerProfile())
+        client = connect(network, settings={IWS: 7})
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                te.event.stream_id == sid
+                for te in client.events_of(ev.DataReceived)
+            )
+        )
+        first = next(
+            te.event for te in client.events_of(ev.DataReceived)
+            if te.event.stream_id == sid
+        )
+        assert len(first.data) == 7
+
+    def test_send_empty_behaviour(self):
+        profile = ServerProfile(
+            tiny_window_behavior=TinyWindowBehavior.SEND_EMPTY
+        )
+        network = deploy(profile)
+        client = connect(network, settings={IWS: 1})
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                te.event.stream_id == sid
+                for te in client.events_of(ev.DataReceived)
+            )
+        )
+        first = next(
+            te.event for te in client.events_of(ev.DataReceived)
+            if te.event.stream_id == sid
+        )
+        assert first.data == b""
+
+    def test_silent_behaviour_sends_nothing(self):
+        profile = ServerProfile(
+            flow_control_on_headers=True,
+            headers_hold_threshold=16,
+            tiny_window_behavior=TinyWindowBehavior.SILENT,
+        )
+        network = deploy(profile)
+        client = connect(network, settings={IWS: 1})
+        sid = client.request("/")
+        network.sim.run(until=network.sim.now + 3.0)
+        assert client.headers_for(sid) is None
+        assert not client.events_of(ev.DataReceived)
+
+    def test_headers_sent_at_zero_window_by_default(self):
+        network = deploy(ServerProfile())
+        client = connect(network, settings={IWS: 0})
+        sid = client.request("/")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert client.headers_for(sid) is not None
+        assert not [
+            te for te in client.events_of(ev.DataReceived) if te.event.data
+        ]
+
+    def test_headers_held_with_flow_control_on_headers(self):
+        profile = ServerProfile(flow_control_on_headers=True)
+        network = deploy(profile)
+        client = connect(network, settings={IWS: 0})
+        sid = client.request("/")
+        network.sim.run(until=network.sim.now + 3.0)
+        assert client.headers_for(sid) is None
+        # Granting window releases the held HEADERS.
+        client.send_window_update(sid, 100_000)
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert client.headers_for(sid) is not None
+
+    def test_nginx_zero_window_announce_quirk(self):
+        profile = ServerProfile(
+            settings={IWS: 0, MCS: 128},
+            announce_zero_then_window_update=True,
+        )
+        network = deploy(profile)
+        client = connect(network)
+        # The server announced IWS 0 and then re-opened the connection
+        # window with a WINDOW_UPDATE.
+        assert any(
+            isinstance(te.event, ev.WindowUpdateReceived)
+            and te.event.stream_id == 0
+            for te in client.events
+        )
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.WindowUpdateReceived)
+                and te.event.stream_id == sid
+                for te in client.events
+            )
+        )
+
+
+class TestPush:
+    def test_push_promise_before_response_body(self):
+        network = deploy(ServerProfile(supports_push=True))
+        client = connect(network, enable_push=True, auto_window_update=True)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            ),
+            timeout=30,
+        )
+        promises = client.events_of(ev.PushPromiseReceived)
+        assert promises
+        promised_paths = {
+            dict(te.event.headers)[b":path"].decode() for te in promises
+        }
+        assert promised_paths == set(default_website().get("/").push)
+
+    def test_no_push_when_client_disables(self):
+        network = deploy(ServerProfile(supports_push=True))
+        client = connect(network, enable_push=False, auto_window_update=True)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            ),
+            timeout=30,
+        )
+        assert not client.events_of(ev.PushPromiseReceived)
+
+    def test_no_push_when_profile_disables(self):
+        network = deploy(ServerProfile(supports_push=False))
+        client = connect(network, enable_push=True, auto_window_update=True)
+        sid = client.request("/")
+        client.wait_for(
+            lambda: any(
+                isinstance(te.event, ev.StreamEnded) and te.event.stream_id == sid
+                for te in client.events
+            ),
+            timeout=30,
+        )
+        assert not client.events_of(ev.PushPromiseReceived)
+
+    def test_pushed_body_delivered(self):
+        network = deploy(ServerProfile(supports_push=True))
+        client = connect(network, enable_push=True, auto_window_update=True)
+        client.request("/")
+        client.settle(quiet_period=0.5, timeout=30)
+        promises = client.events_of(ev.PushPromiseReceived)
+        promised = promises[0].event.promised_stream_id
+        path = dict(promises[0].event.headers)[b":path"].decode()
+        assert client.data_for(promised) == default_website().get(path).body()
+
+
+class TestHpackBehaviour:
+    def test_indexing_server_shrinks_repeated_responses(self):
+        network = deploy(ServerProfile(hpack_index_responses=True))
+        client = connect(network, auto_window_update=True)
+        sizes = []
+        for _ in range(3):
+            sid = client.request("/style.css")
+            client.wait_for(lambda: client.headers_for(sid) is not None)
+            sizes.append(client.headers_for(sid).encoded_size)
+        assert sizes[1] < sizes[0]
+        assert sizes[2] == sizes[1]
+
+    def test_non_indexing_server_constant_sizes(self):
+        network = deploy(ServerProfile(hpack_index_responses=False))
+        client = connect(network, auto_window_update=True)
+        sizes = []
+        for _ in range(3):
+            sid = client.request("/style.css")
+            client.wait_for(lambda: client.headers_for(sid) is not None)
+            sizes.append(client.headers_for(sid).encoded_size)
+        assert len(set(sizes)) == 1
+
+    def test_cookie_per_response_grows_blocks(self):
+        network = deploy(ServerProfile(new_cookie_each_response=True))
+        client = connect(network, auto_window_update=True)
+        sizes = []
+        for _ in range(3):
+            sid = client.request("/style.css")
+            client.wait_for(lambda: client.headers_for(sid) is not None)
+            sizes.append(client.headers_for(sid).encoded_size)
+        # Fresh cookies keep later blocks at least as big as the first
+        # indexed repeat would be — ratio ends up above 1 in Eq. 1 terms.
+        assert sum(sizes) / (sizes[0] * 3) > 1.0
+
+
+class TestHttp1Fallback:
+    def test_http1_get(self):
+        network = deploy(ServerProfile())
+        client = ScopeClient(network, "engine.test", alpn=["http/1.1"], offer_npn=False)
+        assert client.connect()
+        client.tls_handshake()
+        assert client.tls.chosen == "http/1.1"
+        interval = client.http1_get("/style.css")
+        assert interval is not None and interval > 0
+
+    def test_h1_only_server_rejects_h2(self):
+        network = deploy(ServerProfile(supports_h2=False))
+        client = ScopeClient(network, "engine.test")
+        assert client.connect()
+        tls = client.tls_handshake()
+        assert tls.chosen == "http/1.1"
+
+
+class TestResetAndTermination:
+    def test_client_reset_cancels_response(self):
+        network = deploy(ServerProfile(processing_delay=0.2, processing_jitter=0.0))
+        client = connect(network)
+        sid = client.request("/big.bin")
+        client.send_rst_stream(sid)
+        network.sim.run(until=network.sim.now + 2.0)
+        # No DATA should arrive for the reset stream.
+        assert not [
+            te for te in client.events_of(ev.DataReceived)
+            if te.event.stream_id == sid and te.event.data
+        ]
+
+    def test_unresponsive_profile_stays_mute(self):
+        network = deploy(ServerProfile(h2_unresponsive=True))
+        client = ScopeClient(network, "engine.test")
+        assert client.connect()
+        client.tls_handshake()
+        assert client.tls.chosen == "h2"
+        client.start_h2()
+        client.request("/")
+        network.sim.run(until=network.sim.now + 3.0)
+        assert not client.events_of(ev.SettingsReceived)
+        assert not client.events_of(ev.HeadersReceived)
+
+    def test_no_settings_profile(self):
+        network = deploy(ServerProfile(send_settings_frame=False))
+        client = ScopeClient(network, "engine.test")
+        client.establish_h2(timeout=3)
+        sid = client.request("/")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        assert not client.events_of(ev.SettingsReceived)
+        assert client.headers_for(sid) is not None
+
+
+class TestGoawaySemantics:
+    def test_requests_after_goaway_unanswered(self):
+        """After the server GOAWAYs (e.g. reacting to a zero window
+        update), later requests on the connection get no response."""
+        from repro.h2.connection import Reaction
+
+        profile = ServerProfile(
+            on_zero_window_update_connection=Reaction.GOAWAY
+        )
+        network = deploy(profile)
+        client = connect(network)
+        first = client.request("/style.css")
+        client.wait_for(lambda: client.headers_for(first) is not None)
+        client.send_window_update(0, 0)  # provoke GOAWAY
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.GoAwayReceived) for te in client.events)
+        )
+        late = client.request("/app.js")
+        network.sim.run(until=network.sim.now + 2.0)
+        assert client.headers_for(late) is None
+
+    def test_goaway_carries_highest_processed_stream(self):
+        from repro.h2.connection import Reaction
+
+        profile = ServerProfile(
+            on_zero_window_update_connection=Reaction.GOAWAY
+        )
+        network = deploy(profile)
+        client = connect(network)
+        sid = client.request("/style.css")
+        client.wait_for(lambda: client.headers_for(sid) is not None)
+        client.send_window_update(0, 0)
+        client.wait_for(
+            lambda: any(isinstance(te.event, ev.GoAwayReceived) for te in client.events)
+        )
+        goaway = next(
+            te.event for te in client.events if isinstance(te.event, ev.GoAwayReceived)
+        )
+        assert goaway.last_stream_id == sid

@@ -1,0 +1,87 @@
+"""Website content model."""
+
+import random
+
+from repro.servers.website import (
+    Resource,
+    Website,
+    default_website,
+    random_website,
+    testbed_website,
+)
+
+
+class TestResource:
+    def test_body_has_declared_size(self):
+        resource = Resource("/x", 1234)
+        assert len(resource.body()) == 1234
+
+    def test_body_is_deterministic(self):
+        resource = Resource("/x", 500)
+        assert resource.body() == resource.body()
+
+    def test_bodies_differ_by_path(self):
+        assert Resource("/a", 100).body() != Resource("/b", 100).body()
+
+    def test_zero_size_body(self):
+        assert Resource("/empty", 0).body() == b""
+
+
+class TestWebsite:
+    def test_add_and_get(self):
+        site = Website()
+        site.add(Resource("/a", 10))
+        assert site.get("/a").size == 10
+        assert site.get("/missing") is None
+        assert "/a" in site
+        assert len(site) == 1
+
+    def test_paths_sorted(self):
+        site = Website([Resource("/b", 1), Resource("/a", 1)])
+        assert site.paths() == ["/a", "/b"]
+
+
+class TestFactories:
+    def test_default_website_front_page_links_exist(self):
+        site = default_website()
+        front = site.get("/")
+        assert front is not None
+        for link in front.links:
+            assert link in site
+
+    def test_default_website_push_manifest_valid(self):
+        site = default_website()
+        for path in site.get("/").push:
+            assert path in site
+
+    def test_testbed_website_has_large_objects(self):
+        # §III-A1: the multiplexing probe needs large objects.
+        site = testbed_website(object_size=400_000, objects=8)
+        for i in range(8):
+            assert site.get(f"/large/{i}.bin").size == 400_000
+
+    def test_testbed_website_has_depletion_objects(self):
+        site = testbed_website()
+        mediums = [p for p in site.paths() if p.startswith("/medium/")]
+        # Window depletion needs > 65,535 octets of material.
+        assert sum(site.get(p).size for p in mediums) > 65_535
+
+    def test_random_website_links_resolve(self):
+        site = random_website(random.Random(3))
+        for path in site.paths():
+            for link in site.get(path).links:
+                assert link in site
+
+    def test_random_website_deterministic_per_seed(self):
+        a = random_website(random.Random(5))
+        b = random_website(random.Random(5))
+        assert a.paths() == b.paths()
+
+    def test_cookie_probability_zero_means_no_cookies(self):
+        for seed in range(10):
+            site = random_website(random.Random(seed), cookie_prob=0.0)
+            assert site.get("/").extra_headers == []
+
+    def test_push_capable_front_page(self):
+        site = random_website(random.Random(1), push_capable=True)
+        assert site.get("/").push

@@ -1,0 +1,87 @@
+"""DoS attack studies (paper §VI) and their defences."""
+
+import pytest
+
+from repro.attacks import (
+    run_priority_churn_attack,
+    run_slow_read_attack,
+    run_table_flood_attack,
+)
+
+
+class TestSlowRead:
+    def test_attack_pins_server_memory(self):
+        report = run_slow_read_attack(streams=16, object_size=100_000, sframe=1)
+        # Nearly the entire response set is buffered behind 1-octet windows.
+        assert report.peak_pinned_bytes > 0.95 * report.theoretical_max
+        assert not report.connection_refused
+
+    def test_memory_stays_pinned_for_attack_duration(self):
+        report = run_slow_read_attack(streams=8, object_size=50_000, duration=10.0)
+        # The last sample is still pinned — the server cannot release it.
+        assert report.pinned_bytes_over_time[-1][1] > 0.9 * report.theoretical_max
+
+    def test_window_lower_bound_defence(self):
+        report = run_slow_read_attack(
+            streams=16,
+            object_size=100_000,
+            sframe=1,
+            min_accepted_initial_window=1_024,
+        )
+        assert report.connection_refused
+        assert report.peak_pinned_bytes == 0
+
+    def test_legitimate_window_not_refused(self):
+        report = run_slow_read_attack(
+            streams=4,
+            object_size=10_000,
+            sframe=65_536,
+            min_accepted_initial_window=1_024,
+        )
+        assert not report.connection_refused
+
+    def test_pinned_memory_scales_with_streams(self):
+        small = run_slow_read_attack(streams=4, object_size=100_000)
+        large = run_slow_read_attack(streams=16, object_size=100_000)
+        assert large.peak_pinned_bytes > 3 * small.peak_pinned_bytes
+
+
+class TestTableFlood:
+    def test_decoder_bounded_by_own_setting(self):
+        # §V-C's explanation for why every server keeps the 4,096
+        # default: the decoder table cannot exceed it no matter what
+        # the attacker sends.
+        report = run_table_flood_attack(requests=80, server_table_size=4_096)
+        assert report.peak_decoder_bytes <= 4_096
+
+    def test_encoder_grows_without_cap(self):
+        report = run_table_flood_attack(requests=120)
+        assert report.peak_encoder_bytes > 2 * 4_096
+
+    def test_encoder_cap_defence(self):
+        report = run_table_flood_attack(
+            requests=120, max_peer_header_table_size=4_096
+        )
+        assert report.peak_encoder_bytes <= 4_096 + 128
+
+    def test_growth_is_monotone_while_uncapped(self):
+        report = run_table_flood_attack(requests=60)
+        encoder_series = [enc for _, _, enc in report.table_bytes_over_time]
+        assert encoder_series == sorted(encoder_series)
+
+
+class TestPriorityChurn:
+    def test_unbounded_tree_grows_with_attack(self):
+        report = run_priority_churn_attack(frames=400, max_tracked_streams=100_000)
+        assert report.tracked_streams >= 190
+        assert report.max_depth >= 100
+
+    def test_bound_defence_caps_state(self):
+        report = run_priority_churn_attack(frames=400, max_tracked_streams=64)
+        assert report.tracked_streams <= 65
+        assert report.max_depth <= 65
+
+    def test_operations_accounted(self):
+        report = run_priority_churn_attack(frames=200, max_tracked_streams=1_000)
+        assert report.frames_sent == 200
+        assert report.tree_operations >= report.frames_sent * 0.9

@@ -1,0 +1,59 @@
+"""h2scope CLI."""
+
+import pytest
+
+from repro.scope.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_fig6(capsys):
+    rc = main(["experiment", "fig6"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fig. 6" in out
+
+
+def test_experiment_unknown_name(capsys):
+    rc = main(["experiment", "nonsense"])
+    assert rc == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_testbed_matches_paper(capsys):
+    rc = main(["testbed"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "All cells match" in out
+
+
+def test_experiment_adoption_small(capsys):
+    rc = main(["experiment", "adoption", "-n", "60"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Adoption" in out
+
+
+def test_scan_with_db_then_report(tmp_path, capsys):
+    db = tmp_path / "scan.sqlite"
+    rc = main(["scan", "-n", "25", "--db", str(db)])
+    assert rc == 0
+    assert db.exists()
+    capsys.readouterr()
+    rc = main(["report", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "campaign experiment-1" in out
+    assert "HPACK ratios" in out
+
+
+def test_report_on_empty_db(tmp_path, capsys):
+    db = tmp_path / "empty.sqlite"
+    from repro.scope.storage import ReportStore
+
+    ReportStore(db).close()
+    rc = main(["report", str(db)])
+    assert rc == 1
