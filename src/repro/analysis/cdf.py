@@ -8,7 +8,7 @@ harness can show the curves' shapes directly in its output.
 from __future__ import annotations
 
 from bisect import bisect_right
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 
@@ -68,8 +68,6 @@ def render_cdf_ascii(
     x_max: float | None = None,
 ) -> str:
     """Render several CDFs as an ASCII plot (one marker per series)."""
-    import math
-
     markers = "*o+x#@%&"
     cleaned = {name: sorted(vals) for name, vals in series.items() if vals}
     if not cleaned:

@@ -14,11 +14,11 @@ HTTP/1.1 connections, swept over loss rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.pageload import visit_page
 from repro.net.clock import Simulation
-from repro.net.transport import Endpoint, LinkProfile, Network
+from repro.net.transport import Endpoint, Network
 from repro.net.tls import HTTP11, decode_server_hello, encode_client_hello
 from repro.servers.site import Site, deploy_site
 

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.net.faults import FaultPlan
 from repro.population import PopulationConfig, make_population
 from repro.scope.report import SiteReport
+from repro.scope.resilience import ResilienceConfig
 from repro.scope.scanner import scan_population
 from repro.servers.site import Site
 
@@ -32,13 +34,25 @@ def population_scan(
     seed: int,
     include: frozenset[str],
     include_unresponsive: bool = True,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> tuple[list[Site], list[SiteReport], float]:
     """Generate + scan a population once per (experiment, size, probes).
 
     Returns ``(sites, reports, scale)`` where ``scale`` converts
-    generated-site counts into paper-population counts.
+    generated-site counts into paper-population counts.  ``fault_plan``
+    and ``resilience`` switch the scan into chaos mode: deterministic
+    fault injection plus deadline/retry execution.
     """
-    key = (experiment, n_sites, seed, include, include_unresponsive)
+    key = (
+        experiment,
+        n_sites,
+        seed,
+        include,
+        include_unresponsive,
+        fault_plan.cache_key if fault_plan is not None else None,
+        resilience,
+    )
     if key not in _SCAN_CACHE:
         config = PopulationConfig(
             experiment=experiment,
@@ -47,7 +61,13 @@ def population_scan(
             include_unresponsive=include_unresponsive,
         )
         sites = make_population(config)
-        reports = scan_population(sites, include=include, seed=seed)
+        reports = scan_population(
+            sites,
+            include=include,
+            seed=seed,
+            fault_plan=fault_plan,
+            resilience=resilience,
+        )
         _SCAN_CACHE[key] = (sites, reports, config.scale)
     return _SCAN_CACHE[key]
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 from repro.analysis.cdf import Cdf, render_cdf_ascii
 from repro.experiments.common import ExperimentResult, population_scan
 from repro.h2.constants import SettingCode
-from repro.population.distributions import experiment_data
 
 PROBES = frozenset({"negotiation", "settings"})
 MCS = int(SettingCode.MAX_CONCURRENT_STREAMS)

@@ -21,7 +21,6 @@ from repro.scope.probes import (
     probe_priority,
     probe_push,
     probe_self_dependency,
-    probe_settings,
     probe_tiny_window,
     probe_zero_window_headers,
     probe_zero_window_update,

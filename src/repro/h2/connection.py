@@ -33,7 +33,6 @@ from repro.h2.constants import (
     FrameFlag,
     FrameType,
     MAX_STREAM_ID,
-    MAX_WINDOW_SIZE,
     SettingCode,
 )
 from repro.h2.errors import (
@@ -41,7 +40,6 @@ from repro.h2.errors import (
     H2ConnectionError,
     H2StreamError,
     ProtocolError,
-    StreamClosedError,
 )
 from repro.h2.flow_control import FlowControlWindow
 from repro.h2.frames import (
@@ -65,7 +63,7 @@ from repro.h2.hpack.decoder import Decoder
 from repro.h2.hpack.encoder import Encoder, IndexingPolicy
 from repro.h2.priority import PriorityTree, SelfDependencyError
 from repro.h2.settings import SettingsMap
-from repro.h2.stream import Stream, StreamState
+from repro.h2.stream import Stream
 
 
 class Side(enum.Enum):

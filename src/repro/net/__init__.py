@@ -8,19 +8,26 @@ provides the stand-in: a deterministic discrete-event simulation with
   per-site RTT, bandwidth and loss models (:mod:`repro.net.transport`),
 * a TLS handshake layer implementing both ALPN and NPN negotiation
   (:mod:`repro.net.tls`) — the two mechanisms Section IV-A of the paper
-  uses to discover HTTP/2 support, and
-* ICMP echo (:mod:`repro.net.icmp`) for the Fig. 6 RTT comparison.
+  uses to discover HTTP/2 support,
+* ICMP echo (:mod:`repro.net.icmp`) for the Fig. 6 RTT comparison, and
+* deterministic fault injection (:mod:`repro.net.faults`) — refusals,
+  mid-handshake resets, hello corruption, stalls/blackholes, truncated
+  closes and garbage frames, for chaos-testing the scanner.
 
 Determinism: all randomness flows from seeds; running the same
 experiment twice produces byte-identical traces.
 """
 
 from repro.net.clock import Simulation
+from repro.net.faults import FaultKind, FaultPlan, FaultRule
 from repro.net.transport import Host, LinkProfile, Network
 from repro.net.tls import AlpnResult, TlsServerConfig, negotiate_tls
 
 __all__ = [
     "AlpnResult",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "Host",
     "LinkProfile",
     "Network",

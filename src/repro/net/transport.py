@@ -29,6 +29,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.net.clock import Simulation
+from repro.net.faults import FaultKind, FaultPlan, FaultSession, FaultState
 
 #: Segment size used for serialization and loss accounting.
 MSS = 1460
@@ -84,6 +85,8 @@ class Endpoint:
         self._stall_until = 0.0  # per-connection loss-recovery stall
         self._rng: random.Random = random.Random(0)
         self._profile = LinkProfile()
+        #: Injected fault applied to this endpoint's traffic (if any).
+        self.fault: FaultState | None = None
 
     # -- sending ----------------------------------------------------------
 
@@ -94,6 +97,22 @@ class Endpoint:
         if not data:
             return
         assert self.peer is not None
+
+        fault_delay = 0.0
+        close_peer = False
+        if self.fault is not None:
+            filtered, fault_delay, close_peer = self.fault.on_send(
+                self._sim.now, data
+            )
+            if filtered is None:
+                if close_peer:
+                    self._sim.call_at(
+                        self._sim.now + self._one_way_delay,
+                        Endpoint._deliver_close,
+                        self.peer,
+                    )
+                return
+            data = filtered
         self.bytes_sent += len(data)
 
         # Serialization: the shared link transmits at most `bandwidth`
@@ -120,11 +139,30 @@ class Endpoint:
             else 0.0
         )
         arrival = self._stall_until + self._one_way_delay + max(0.0, jitter)
+        arrival += fault_delay
         self._sim.call_at(arrival, self._deliver_to_peer, data)
+        if close_peer:
+            # Truncated close: the peer observes FIN/RST right after the
+            # final partial chunk (same instant, later queue order).
+            self._sim.call_at(arrival, Endpoint._deliver_close, self.peer)
 
     def _deliver_to_peer(self, data: bytes) -> None:
         peer = self.peer
         if peer is None or peer.closed:
+            return
+        if peer.fault is not None and peer.fault.intercept_receive():
+            # Mid-handshake RST: the peer tears the connection down
+            # instead of processing the bytes; we learn of it one
+            # propagation delay later.
+            peer.closed = True
+            if peer.on_close is not None:
+                peer.on_close()
+            if not self.closed:
+                self._sim.call_at(
+                    self._sim.now + self._one_way_delay,
+                    Endpoint._deliver_close,
+                    self,
+                )
             return
         peer.bytes_received += len(data)
         if peer.on_data is not None:
@@ -219,11 +257,20 @@ class ConnectAttempt:
 class Network:
     """Registry of hosts plus the connection factory."""
 
-    def __init__(self, sim: Simulation, seed: int = 0):
+    def __init__(
+        self, sim: Simulation, seed: int = 0, fault_plan: FaultPlan | None = None
+    ):
         self.sim = sim
         self.seed = seed
         self.hosts: dict[str, Host] = {}
         self._connection_counter = 0
+        self.fault_plan = fault_plan
+        self.fault_session: FaultSession | None = (
+            fault_plan.session() if fault_plan is not None else None
+        )
+        #: Per-attempt probing policy (deadline, fault raising) set by
+        #: the resilience layer; clients consult it on every wait.
+        self.probe_policy = None
 
     def add_host(self, name: str, profile: LinkProfile | None = None) -> Host:
         if name in self.hosts:
@@ -260,6 +307,17 @@ class Network:
         self._connection_counter += 1
         conn_seed = hash((self.seed, server_name, port, self._connection_counter))
 
+        fault = None
+        if self.fault_session is not None:
+            fault = self.fault_session.draw(
+                server_name, port, self._connection_counter
+            )
+            if fault is not None and fault.kind is FaultKind.REFUSE:
+                # The SYN is answered with RST: same observable shape as
+                # a missing listener, one RTT later.
+                self.sim.call_later(profile.rtt, attempt._complete, None)
+                return attempt
+
         client_end = Endpoint(self.sim, f"client->{server_name}:{port}")
         server_end = Endpoint(self.sim, f"{server_name}:{port}->client")
         client_end.peer = server_end
@@ -272,6 +330,9 @@ class Network:
         # Parallel connections to one host contend for its access link.
         client_end._channel = server.uplink
         server_end._channel = server.downlink
+        # Injected faults ride on the server side: its outbound stream
+        # is filtered and its inbound delivery can become an RST.
+        server_end.fault = fault
 
         def handshake_done() -> None:
             listener(server_end)

@@ -11,7 +11,7 @@ compares what H2Scope recovers against the same numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

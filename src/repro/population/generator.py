@@ -23,7 +23,7 @@ family HPACK policies).  Every planted choice is recorded in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.h2.connection import Reaction
 from repro.h2.constants import SettingCode

@@ -11,11 +11,24 @@ server's reaction.
   Section III;
 * :mod:`repro.scope.report` — typed results and the per-site report;
 * :mod:`repro.scope.scanner` — the population scanner (Section IV-B's
-  thread-pool scanner, expressed over per-site simulations).
+  thread-pool scanner, expressed over per-site simulations);
+* :mod:`repro.scope.resilience` — virtual-time deadlines, the
+  transient/timeout/fatal failure taxonomy, and retry with
+  deterministic exponential backoff.
 """
 
 from repro.scope.client import ScopeClient
-from repro.scope.report import SiteReport
+from repro.scope.report import ScanError, SiteReport, summarize_errors
+from repro.scope.resilience import BackoffPolicy, ResilienceConfig
 from repro.scope.scanner import scan_population, scan_site
 
-__all__ = ["ScopeClient", "SiteReport", "scan_population", "scan_site"]
+__all__ = [
+    "BackoffPolicy",
+    "ResilienceConfig",
+    "ScanError",
+    "ScopeClient",
+    "SiteReport",
+    "scan_population",
+    "scan_site",
+    "summarize_errors",
+]

@@ -27,6 +27,13 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    if (
+        args.fault_plan is not None
+        or args.timeout is not None
+        or args.retries is not None
+    ):
+        return _cmd_scan_resilient(args)
+
     from repro.experiments import (
         adoption,
         flowcontrol_scan,
@@ -61,6 +68,45 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         campaign = f"experiment-{args.experiment}"
         with ReportStore(args.db) as store:
             store.save_many(campaign, reports)
+            print(
+                f"stored {store.count(campaign)} reports for {campaign} "
+                f"in {args.db}"
+            )
+    return 0
+
+
+def _cmd_scan_resilient(args: argparse.Namespace) -> int:
+    """Chaos-mode scan: fault injection + deadline/retry execution.
+
+    Triggered by any of ``--fault-plan`` / ``--timeout`` / ``--retries``;
+    without ``--fault-plan`` this is the control condition (clean
+    network, resilient execution).
+    """
+    from repro.experiments import fault_study
+    from repro.net.faults import FaultPlan
+
+    if args.fault_plan is not None:
+        try:  # surface spec/JSON mistakes as a usage error, not a traceback
+            FaultPlan.load(args.fault_plan, seed=args.seed)
+        except ValueError as exc:
+            print(f"bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+
+    result = fault_study.run(
+        experiment=args.experiment,
+        n_sites=args.n_sites,
+        seed=args.seed,
+        fault_spec=args.fault_plan,
+        timeout=12.0 if args.timeout is None else args.timeout,
+        retries=2 if args.retries is None else args.retries,
+    )
+    print(result.text)
+    if args.db:
+        from repro.scope.storage import ReportStore
+
+        campaign = f"experiment-{args.experiment}-faults"
+        with ReportStore(args.db) as store:
+            store.save_many(campaign, result.data["reports"])
             print(
                 f"stored {store.count(campaign)} reports for {campaign} "
                 f"in {args.db}"
@@ -178,6 +224,9 @@ EXPERIMENT_RUNNERS = {
     "longitudinal": lambda args: __import__(
         "repro.experiments.longitudinal", fromlist=["run"]
     ).run(n_sites=args.n_sites, seed=args.seed),
+    "faults": lambda args: __import__(
+        "repro.experiments.fault_study", fromlist=["run"]
+    ).run(args.experiment, args.n_sites, args.seed),
 }
 
 
@@ -217,6 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also store full per-site reports into this SQLite database",
     )
+    scan.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC|FILE",
+        help="chaos mode: inject faults from a spec string "
+        "(e.g. 'refuse:0.1x2,stall(30):0.05,truncate(400)') or a JSON "
+        "file; probes then run with deadlines + retry/backoff",
+    )
+    scan.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-probe virtual-time budget (implies resilient mode)",
+    )
+    scan.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget for transient failures (implies resilient mode)",
+    )
     scan.set_defaults(func=_cmd_scan)
 
     report = sub.add_parser("report", help="summarize a stored scan database")
@@ -236,7 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run one table/figure by name")
     experiment.add_argument("name", help="table3, adoption, table4, settings, "
                             "fig2, flowcontrol, priority, push, fig3, fig45, "
-                            "fig6, or 'all'")
+                            "fig6, faults, or 'all'")
     experiment.add_argument("--experiment", type=int, choices=(1, 2), default=1)
     experiment.add_argument("-n", "--n-sites", type=int, default=300)
     experiment.add_argument("--visits", type=int, default=10)

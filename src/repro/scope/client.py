@@ -14,7 +14,7 @@ from these logs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.h2 import events as ev
 from repro.h2.connection import ConnectionConfig, H2Connection, Side
@@ -27,6 +27,13 @@ from repro.net.tls import (
     encode_client_hello,
 )
 from repro.net.transport import ConnectAttempt, Endpoint, Network
+from repro.scope.resilience import (
+    ConnectionRefusedFault,
+    ConnectionResetFault,
+    ProbePolicy,
+    ProbeTimeout,
+    TlsFault,
+)
 
 #: Default virtual-time budget for waiting on a server reaction.
 DEFAULT_TIMEOUT = 8.0
@@ -95,6 +102,27 @@ class ScopeClient:
         self._mode = "idle"
         self._raw_http1 = bytearray()
         self._http1_response_at: float | None = None
+        #: Set when the *peer* closed the connection (reset/truncation).
+        self.peer_closed = False
+
+    # ------------------------------------------------------------------
+    # Resilience policy (deadlines + classified failures)
+    # ------------------------------------------------------------------
+
+    def _policy(self) -> ProbePolicy | None:
+        """The per-attempt policy installed by the resilience layer."""
+        return getattr(self.network, "probe_policy", None)
+
+    def _budget(self, timeout: float, what: str) -> float:
+        """Clamp a wait to the policy deadline (raising once spent)."""
+        policy = self._policy()
+        if policy is not None and policy.deadline is not None:
+            return policy.deadline.clamp(timeout, what=f"{self.domain}: {what}")
+        return timeout
+
+    def _raise_faults(self) -> bool:
+        policy = self._policy()
+        return policy is not None and policy.raise_faults
 
     # ------------------------------------------------------------------
     # Connection establishment
@@ -104,14 +132,20 @@ class ScopeClient:
         """TCP connect; returns success and records the handshake RTT."""
         attempt: ConnectAttempt = self.network.connect(self.domain, self.port)
         self.sim.run_until(
-            lambda: attempt.established or attempt.refused, timeout=timeout
+            lambda: attempt.established or attempt.refused,
+            timeout=self._budget(timeout, "tcp connect"),
         )
         if not attempt.established:
+            if self._raise_faults():
+                raise ConnectionRefusedFault(
+                    f"{self.domain}:{self.port}: connection refused"
+                )
             return False
         self.tls.tcp_handshake_rtt = attempt.handshake_rtt
         self.endpoint = attempt.endpoint
         assert self.endpoint is not None
         self.endpoint.on_data = self._on_data
+        self.endpoint.on_close = self._on_close
         return True
 
     def tls_handshake(self, timeout: float = DEFAULT_TIMEOUT) -> TlsOutcome:
@@ -119,7 +153,21 @@ class ScopeClient:
         assert self.endpoint is not None, "connect() first"
         self._mode = "hello"
         self.endpoint.send(encode_client_hello(self.alpn, self.offer_npn))
-        self.sim.run_until(lambda: self._mode != "hello", timeout=timeout)
+        self.sim.run_until(
+            lambda: self._mode != "hello",
+            timeout=self._budget(timeout, "tls hello"),
+        )
+        if self._raise_faults():
+            if self._mode == "reset":
+                raise ConnectionResetFault(
+                    f"{self.domain}:{self.port}: reset during TLS hello"
+                )
+            if self._mode == "failed":
+                raise TlsFault(f"{self.domain}: malformed server hello")
+            if self._mode == "hello":
+                raise ProbeTimeout(
+                    f"{self.domain}: no server hello within {timeout}s"
+                )
         return self.tls
 
     def establish_h2(self, timeout: float = DEFAULT_TIMEOUT) -> bool:
@@ -188,6 +236,12 @@ class ScopeClient:
         for event in produced:
             self.events.append(TimedEvent(at=now, event=event))
         self.flush()
+
+    def _on_close(self) -> None:
+        """Peer-initiated close (our own ``close()`` never lands here)."""
+        self.peer_closed = True
+        if self._mode == "hello":
+            self._mode = "reset"
 
     def _finish_hello(self, line: bytes) -> None:
         try:
@@ -280,15 +334,22 @@ class ScopeClient:
     # ------------------------------------------------------------------
 
     def wait_for(self, predicate, timeout: float = DEFAULT_TIMEOUT) -> bool:
-        """Advance virtual time until ``predicate()`` or timeout."""
-        return self.sim.run_until(predicate, timeout=timeout)
+        """Advance virtual time until ``predicate()`` or timeout.
+
+        Under a resilience policy the wait is additionally bounded by
+        the per-attempt deadline; :class:`DeadlineExceeded` is raised
+        once the budget is spent.
+        """
+        return self.sim.run_until(
+            predicate, timeout=self._budget(timeout, "wait")
+        )
 
     def settle(self, quiet_period: float = 1.0, timeout: float = 30.0) -> None:
         """Run until no new events arrive for ``quiet_period`` seconds."""
         deadline = self.sim.now + timeout
         while self.sim.now < deadline:
             count = len(self.events)
-            self.sim.run_until(
+            self.wait_for(
                 lambda: len(self.events) > count,
                 timeout=min(quiet_period, deadline - self.sim.now),
             )
@@ -360,7 +421,8 @@ class ScopeClient:
             ).encode()
         )
         self.sim.run_until(
-            lambda: b"\r\n\r\n" in bytes(self._raw_http1), timeout=timeout
+            lambda: b"\r\n\r\n" in bytes(self._raw_http1),
+            timeout=self._budget(timeout, "h2c upgrade"),
         )
         raw = bytes(self._raw_http1)
         head, _, rest = raw.partition(b"\r\n\r\n")
@@ -385,7 +447,8 @@ class ScopeClient:
             f"GET {path} HTTP/1.1\r\nHost: {self.domain}\r\n\r\n".encode()
         )
         self.sim.run_until(
-            lambda: self._http1_response_at is not None, timeout=timeout
+            lambda: self._http1_response_at is not None,
+            timeout=self._budget(timeout, "http/1.1 response"),
         )
         if self._http1_response_at is None:
             return None

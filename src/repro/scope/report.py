@@ -11,6 +11,37 @@ import enum
 from dataclasses import dataclass, field
 
 
+class ErrorClass(enum.Enum):
+    """Failure taxonomy for scan errors (§IV-B scan bookkeeping).
+
+    ``TRANSIENT`` failures (refused/reset connections) are worth
+    retrying; ``TIMEOUT`` means the per-probe virtual-time budget ran
+    out (stalled or blackholed peer); ``FATAL`` covers everything a
+    retry cannot fix (TLS corruption, protocol violations, bugs).
+    """
+
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    FATAL = "fatal"
+
+
+@dataclass
+class ScanError:
+    """One probe's final failure record, after any retries."""
+
+    probe: str = ""
+    error_class: ErrorClass = ErrorClass.FATAL
+    exception: str = ""
+    message: str = ""
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.probe}: {self.exception}: {self.message} "
+            f"[{self.error_class.value}, attempts={self.attempts}]"
+        )
+
+
 class ErrorReaction(enum.Enum):
     """How a server reacted to a provoked anomaly (Table III cells)."""
 
@@ -150,8 +181,93 @@ class SiteReport:
     push: PushResult = field(default_factory=PushResult)
     hpack: HpackResult = field(default_factory=HpackResult)
     ping: PingResult = field(default_factory=PingResult)
-    errors: list[str] = field(default_factory=list)
+    errors: list[ScanError] = field(default_factory=list)
+    #: Attempts each probe needed (only recorded by resilient scans);
+    #: a value above 1 means transient failures were retried away.
+    probe_attempts: dict[str, int] = field(default_factory=dict)
 
     @property
     def speaks_h2(self) -> bool:
         return self.negotiation.alpn_h2 or self.negotiation.npn_h2
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def retried(self) -> bool:
+        return any(count > 1 for count in self.probe_attempts.values())
+
+
+@dataclass
+class ErrorTaxonomy:
+    """Scan-wide failure accounting (the paper's Table II-style
+    'sites scanned vs sites answering' fractions, refined by class)."""
+
+    total_sites: int = 0
+    failed_sites: int = 0
+    retried_sites: int = 0
+    total_errors: int = 0
+    by_class: dict[str, int] = field(default_factory=dict)
+    by_exception: dict[str, int] = field(default_factory=dict)
+    by_probe: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failure_fraction(self) -> float:
+        if not self.total_sites:
+            return 0.0
+        return self.failed_sites / self.total_sites
+
+    @property
+    def retry_fraction(self) -> float:
+        if not self.total_sites:
+            return 0.0
+        return self.retried_sites / self.total_sites
+
+
+def summarize_errors(reports: list["SiteReport"]) -> ErrorTaxonomy:
+    """Aggregate the error taxonomy across one scan's reports."""
+    taxonomy = ErrorTaxonomy(total_sites=len(reports))
+    for report in reports:
+        if report.failed:
+            taxonomy.failed_sites += 1
+        if report.retried:
+            taxonomy.retried_sites += 1
+        for error in report.errors:
+            taxonomy.total_errors += 1
+            if isinstance(error, ScanError):
+                class_key = error.error_class.value
+                exception_key = error.exception or "unknown"
+                probe_key = error.probe or "unknown"
+            else:  # legacy bare-string records
+                class_key, exception_key, probe_key = "fatal", "unknown", "unknown"
+            taxonomy.by_class[class_key] = taxonomy.by_class.get(class_key, 0) + 1
+            taxonomy.by_exception[exception_key] = (
+                taxonomy.by_exception.get(exception_key, 0) + 1
+            )
+            taxonomy.by_probe[probe_key] = taxonomy.by_probe.get(probe_key, 0) + 1
+    return taxonomy
+
+
+def format_error_taxonomy(taxonomy: ErrorTaxonomy) -> str:
+    """Render the taxonomy as the EXPERIMENTS-style text block."""
+    lines = [
+        "Scan resilience summary",
+        f"  sites scanned           {taxonomy.total_sites}",
+        f"  sites with errors       {taxonomy.failed_sites}"
+        f"  ({taxonomy.failure_fraction:.1%})",
+        f"  sites needing retries   {taxonomy.retried_sites}"
+        f"  ({taxonomy.retry_fraction:.1%})",
+        f"  error records           {taxonomy.total_errors}",
+    ]
+    for title, counts in (
+        ("by class", taxonomy.by_class),
+        ("by exception", taxonomy.by_exception),
+        ("by probe", taxonomy.by_probe),
+    ):
+        if not counts:
+            continue
+        lines.append(f"  errors {title}:")
+        for key, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"    {key:<22} {count}")
+    return "\n".join(lines)

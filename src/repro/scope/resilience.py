@@ -1,0 +1,189 @@
+"""Virtual-time deadlines, failure classification and retry/backoff.
+
+H2Scope's real scans had to survive the internet: unreachable hosts,
+resets mid-handshake, servers that stall forever.  This module is the
+scanner-side half of the fault story (the injection half lives in
+:mod:`repro.net.faults`):
+
+* a :class:`Deadline` watchdog on the :class:`~repro.net.clock.
+  Simulation` clock, which :class:`~repro.scope.client.ScopeClient`
+  consults on every wait so a stalled peer cannot pin a probe past its
+  virtual-time budget;
+* a typed failure taxonomy (:class:`ScanFault` and subclasses) mapping
+  onto :class:`~repro.scope.report.ErrorClass` — transient failures are
+  retried, timeouts and fatal failures are not;
+* :class:`BackoffPolicy`, exponential backoff with deterministic
+  seed-driven jitter (same seed → byte-identical delay schedule);
+* :func:`run_resilient`, the per-probe execution harness used by
+  :mod:`repro.scope.scanner`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.net.clock import Simulation
+from repro.net.faults import stable_seed
+from repro.net.transport import Network
+from repro.scope.report import ErrorClass, ScanError
+
+
+class ScanFault(Exception):
+    """Base class for classified probe failures."""
+
+    error_class = ErrorClass.FATAL
+
+
+class ConnectionRefusedFault(ScanFault):
+    """TCP connect was refused (dead host or injected RST on SYN)."""
+
+    error_class = ErrorClass.TRANSIENT
+
+
+class ConnectionResetFault(ScanFault):
+    """The peer tore the connection down mid-handshake."""
+
+    error_class = ErrorClass.TRANSIENT
+
+
+class ProbeTimeout(ScanFault):
+    """The peer went silent past the probe's virtual-time budget."""
+
+    error_class = ErrorClass.TIMEOUT
+
+
+class DeadlineExceeded(ProbeTimeout):
+    """The per-attempt deadline expired while waiting."""
+
+
+class TlsFault(ScanFault):
+    """The TLS hello exchange produced garbage (not retryable)."""
+
+    error_class = ErrorClass.FATAL
+
+
+def classify_exception(exc: BaseException) -> ErrorClass:
+    """Map any exception onto the transient/timeout/fatal taxonomy."""
+    if isinstance(exc, ScanFault):
+        return exc.error_class
+    if isinstance(exc, TimeoutError):  # an OSError subclass: check first
+        return ErrorClass.TIMEOUT
+    if isinstance(exc, (ConnectionError, OSError)):
+        return ErrorClass.TRANSIENT
+    return ErrorClass.FATAL
+
+
+def make_scan_error(
+    probe: str, exc: BaseException, attempts: int = 1
+) -> ScanError:
+    return ScanError(
+        probe=probe,
+        error_class=classify_exception(exc),
+        exception=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+    )
+
+
+class Deadline:
+    """A virtual-time budget anchored on the simulation clock."""
+
+    def __init__(self, sim: Simulation, seconds: float):
+        self.sim = sim
+        self.at = sim.now + seconds
+
+    @property
+    def remaining(self) -> float:
+        return self.at - self.sim.now
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0
+
+    def clamp(self, timeout: float, what: str = "wait") -> float:
+        """Bound ``timeout`` by the budget; raise once it is spent."""
+        remaining = self.remaining
+        if remaining <= 0:
+            raise DeadlineExceeded(f"{what}: deadline exceeded")
+        return min(timeout, remaining)
+
+
+@dataclass
+class ProbePolicy:
+    """Per-attempt policy the client reads off ``network.probe_policy``."""
+
+    deadline: Deadline | None = None
+    #: When set, connection-establishment failures raise classified
+    #: :class:`ScanFault` exceptions instead of degrading silently.
+    raise_faults: bool = True
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter."""
+
+    base: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 8.0
+    #: Additive jitter as a fraction of the raw delay, drawn uniformly
+    #: from ``[0, jitter * delay)`` with a seeded RNG.
+    jitter: float = 0.1
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.max_delay, self.base * self.factor**attempt)
+        if self.jitter:
+            raw += rng.random() * self.jitter * raw
+        return raw
+
+    def schedule(self, attempts: int, seed: int = 0) -> list[float]:
+        """The full delay sequence for ``attempts`` retries of one seed."""
+        rng = random.Random(seed)
+        return [self.delay(index, rng) for index in range(attempts)]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for resilient probe execution."""
+
+    #: Per-attempt virtual-time budget (seconds on the sim clock).
+    timeout: float = 20.0
+    #: How many times a transient failure is retried.
+    retries: int = 2
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+
+
+def run_resilient(
+    network: Network,
+    probe: str,
+    fn: Callable[[], None],
+    config: ResilienceConfig,
+    seed: int = 0,
+) -> tuple[int, ScanError | None]:
+    """Run one probe under a deadline, retrying transient failures.
+
+    Returns ``(attempts, error)`` where ``error`` is None on success.
+    Backoff delays elapse on the *virtual* clock, so retries are free in
+    wall time and fully deterministic.
+    """
+    sim = network.sim
+    rng = random.Random(stable_seed(seed, probe, "backoff"))
+    attempts = 0
+    try:
+        while True:
+            attempts += 1
+            network.probe_policy = ProbePolicy(
+                deadline=Deadline(sim, config.timeout)
+            )
+            try:
+                fn()
+                return attempts, None
+            except Exception as exc:  # noqa: BLE001 - scans survive anything
+                error_class = classify_exception(exc)
+                if error_class is not ErrorClass.TRANSIENT or attempts > config.retries:
+                    return attempts, make_scan_error(probe, exc, attempts)
+                delay = config.backoff.delay(attempts - 1, rng)
+                sim.run(until=sim.now + delay)
+    finally:
+        network.probe_policy = None

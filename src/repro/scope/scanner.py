@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 
 from repro.net.clock import Simulation
+from repro.net.faults import FaultPlan
 from repro.net.transport import Network
 from repro.scope.probes import (
     probe_hpack,
@@ -28,6 +29,11 @@ from repro.scope.probes import (
     probe_zero_window_update,
 )
 from repro.scope.report import SiteReport
+from repro.scope.resilience import (
+    ResilienceConfig,
+    make_scan_error,
+    run_resilient,
+)
 from repro.servers.site import Site, deploy_site
 
 #: Probe groups a scan can include.
@@ -41,30 +47,53 @@ PRIORITY_TEST_PATHS = [f"/prio/{label}.bin" for label in "abcdef"]
 PRIORITY_DEPLETION_PATHS = [f"/prio/deplete{i}.bin" for i in range(4)]
 
 
+def _validate_include(include: Iterable[str] | None) -> set[str]:
+    include_set = set(include) if include is not None else set(ALL_PROBES)
+    unknown = include_set - ALL_PROBES
+    if unknown:
+        raise ValueError(f"unknown probes: {sorted(unknown)}")
+    return include_set
+
+
 def scan_site(
     site: Site,
     include: Iterable[str] | None = None,
     seed: int = 0,
     priority_test_paths: list[str] | None = None,
     priority_depletion_paths: list[str] | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> SiteReport:
-    """Probe one site inside a fresh simulation universe."""
-    include_set = set(include) if include is not None else set(ALL_PROBES)
-    unknown = include_set - ALL_PROBES
-    if unknown:
-        raise ValueError(f"unknown probes: {sorted(unknown)}")
+    """Probe one site inside a fresh simulation universe.
 
-    sim = Simulation()
-    network = Network(sim, seed=seed)
-    deploy_site(network, site)
+    ``fault_plan`` injects deterministic network hostility into the
+    universe; ``resilience`` runs every probe under a virtual-time
+    deadline and retries transient failures with exponential backoff.
+    Without ``resilience`` the legacy single-shot semantics apply.
+    """
+    include_set = _validate_include(include)
 
     report = SiteReport(domain=site.domain)
+    sim = Simulation()
+    network = Network(sim, seed=seed, fault_plan=fault_plan)
+    try:
+        deploy_site(network, site)
+    except Exception as exc:  # noqa: BLE001 - a poisoned site must not
+        # abort the scan; record the setup failure and move on.
+        report.errors.append(make_scan_error("setup", exc))
+        return report
 
     def guarded(name: str, fn: Callable[[], None]) -> None:
-        try:
-            fn()
-        except Exception as exc:  # noqa: BLE001 - a scan must survive anything
-            report.errors.append(f"{name}: {type(exc).__name__}: {exc}")
+        if resilience is None:
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 - scans survive anything
+                report.errors.append(make_scan_error(name, exc))
+            return
+        attempts, error = run_resilient(network, name, fn, resilience, seed=seed)
+        report.probe_attempts[name] = attempts
+        if error is not None:
+            report.errors.append(error)
 
     if "negotiation" in include_set:
         guarded(
@@ -149,15 +178,33 @@ def scan_population(
     seed: int = 0,
     workers: int = 8,
     progress: Callable[[int, int], None] | None = None,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> list[SiteReport]:
     """Scan every site; ``workers`` sizes the progress-report chunks.
 
     Sites are independent simulations, so ordering cannot affect
-    results; reports come back in input order.
+    results; reports come back in input order.  Per-site isolation is
+    total: any exception a site's setup or scan raises becomes an
+    error-bearing :class:`SiteReport` instead of aborting the scan.
     """
+    _validate_include(include)  # a caller bug, not a per-site failure
     reports: list[SiteReport] = []
     for index, site in enumerate(sites):
-        reports.append(scan_site(site, include=include, seed=seed + index))
+        try:
+            reports.append(
+                scan_site(
+                    site,
+                    include=include,
+                    seed=seed + index,
+                    fault_plan=fault_plan,
+                    resilience=resilience,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - one site, one report
+            broken = SiteReport(domain=site.domain)
+            broken.errors.append(make_scan_error("scan", exc))
+            reports.append(broken)
         if progress is not None and (index + 1) % max(1, workers) == 0:
             progress(index + 1, len(sites))
     if progress is not None:

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from dataclasses import asdict, fields, is_dataclass
+from dataclasses import fields, is_dataclass
 from pathlib import Path
 
 from repro.scope.report import (
+    ErrorClass,
     ErrorReaction,
     FlowControlResult,
     HpackResult,
@@ -28,6 +29,7 @@ from repro.scope.report import (
     PingResult,
     PriorityResult,
     PushResult,
+    ScanError,
     SettingsResult,
     SiteReport,
     TinyWindowResult,
@@ -54,7 +56,7 @@ def _encode(value):
     """JSON-encode dataclasses/enums/bytes recursively."""
     if is_dataclass(value) and not isinstance(value, type):
         return {f.name: _encode(getattr(value, f.name)) for f in fields(value)}
-    if isinstance(value, (ErrorReaction, TinyWindowResult)):
+    if isinstance(value, (ErrorClass, ErrorReaction, TinyWindowResult)):
         return {"__enum__": type(value).__name__, "value": value.name}
     if isinstance(value, bytes):
         return {"__bytes__": value.hex()}
@@ -65,7 +67,11 @@ def _encode(value):
     return value
 
 
-_ENUMS = {"ErrorReaction": ErrorReaction, "TinyWindowResult": TinyWindowResult}
+_ENUMS = {
+    "ErrorClass": ErrorClass,
+    "ErrorReaction": ErrorReaction,
+    "TinyWindowResult": TinyWindowResult,
+}
 
 
 def _decode(value):
@@ -90,6 +96,13 @@ def _rebuild(cls, data: dict):
         nested = _NESTED.get((cls, field.name))
         if nested is not None and raw is not None:
             raw = _rebuild(nested, data[field.name])
+        nested_list = _NESTED_LISTS.get((cls, field.name))
+        if nested_list is not None and raw is not None:
+            # Items may be dataclass documents or (legacy) bare strings.
+            raw = [
+                _rebuild(nested_list, item) if isinstance(item, dict) else item
+                for item in data[field.name]
+            ]
         kwargs[field.name] = raw
     instance = cls(**kwargs)
     if isinstance(instance, SettingsResult):
@@ -107,6 +120,10 @@ _NESTED = {
     (SiteReport, "push"): PushResult,
     (SiteReport, "hpack"): HpackResult,
     (SiteReport, "ping"): PingResult,
+}
+
+_NESTED_LISTS = {
+    (SiteReport, "errors"): ScanError,
 }
 
 
@@ -132,7 +149,6 @@ class ReportStore:
     def save(self, campaign: str, report: SiteReport) -> None:
         """Insert or replace one report."""
         document = json.dumps(_encode(report))
-        settings_key = None
         self._db.execute(
             "INSERT OR REPLACE INTO reports "
             "(campaign, domain, server_header, speaks_h2, headers_received, "

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import base64
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.h2 import events as ev
 from repro.h2.connection import ConnectionConfig, H2Connection, Side

@@ -1,7 +1,5 @@
 """Page-load model (Fig. 3's mechanism)."""
 
-import pytest
-
 from repro.analysis.pageload import measure_site, visit_page
 from repro.net.clock import Simulation
 from repro.net.transport import LinkProfile, Network

@@ -6,9 +6,6 @@ fast; the benchmark harness runs the same code at larger scale.
 
 import pytest
 
-from repro.experiments import (  # noqa: F401 - re-exported names
-    ExperimentResult,
-)
 from repro.experiments import (
     adoption,
     fig2,

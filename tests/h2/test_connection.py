@@ -9,14 +9,12 @@ import pytest
 
 from repro.h2 import events as ev
 from repro.h2.connection import ConnectionConfig, H2Connection, Reaction, Side
-from repro.h2.constants import ErrorCode, FrameFlag, SettingCode
+from repro.h2.constants import ErrorCode, SettingCode
 from repro.h2.errors import FlowControlError, ProtocolError
 from repro.h2.frames import (
     DataFrame,
     PingFrame,
     PriorityData,
-    WindowUpdateFrame,
-    serialize_frame,
 )
 
 IWS = int(SettingCode.INITIAL_WINDOW_SIZE)

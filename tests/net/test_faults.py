@@ -1,0 +1,279 @@
+"""Fault injection: plan parsing, deterministic draws, wire effects."""
+
+import json
+
+import pytest
+
+from repro.net.clock import Simulation
+from repro.net.faults import FaultKind, FaultPlan, FaultRule, stable_seed
+from repro.net.transport import LinkProfile, Network
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(1, "a.test", 443) == stable_seed(1, "a.test", 443)
+
+    def test_sensitive_to_every_part(self):
+        base = stable_seed(1, "a.test", 443)
+        assert stable_seed(2, "a.test", 443) != base
+        assert stable_seed(1, "b.test", 443) != base
+        assert stable_seed(1, "a.test", 80) != base
+
+
+class TestSpecParsing:
+    def test_bare_kind(self):
+        plan = FaultPlan.parse("refuse")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.kind is FaultKind.REFUSE
+        assert rule.domain is None
+        assert rule.probability == 1.0
+        assert rule.max_triggers is None
+
+    def test_full_entry(self):
+        plan = FaultPlan.parse("stall(45)@*.shard:0.25x3")
+        rule = plan.rules[0]
+        assert rule.kind is FaultKind.STALL
+        assert rule.duration == 45.0
+        assert rule.domain == "*.shard"
+        assert rule.probability == 0.25
+        assert rule.max_triggers == 3
+
+    def test_param_routes_to_after_bytes_for_byte_faults(self):
+        plan = FaultPlan.parse("truncate(123),garbage(45),blackhole(6)")
+        assert [r.after_bytes for r in plan.rules] == [123, 45, 6]
+
+    def test_param_defaults(self):
+        plan = FaultPlan.parse("truncate,garbage,stall")
+        truncate, garbage, stall = plan.rules
+        assert truncate.after_bytes == 400
+        assert garbage.after_bytes == 96
+        assert stall.after_bytes == 0
+
+    def test_multiple_entries_preserve_order(self):
+        plan = FaultPlan.parse("refuse:0.1, reset:0.2 ,truncate(400)")
+        assert [r.kind for r in plan.rules] == [
+            FaultKind.REFUSE,
+            FaultKind.RESET,
+            FaultKind.TRUNCATE,
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultPlan.parse("refuse:")
+
+    def test_spec_retained_as_cache_key_material(self):
+        plan = FaultPlan.parse("refuse:0.5", seed=3)
+        assert plan.spec == "refuse:0.5"
+        assert plan.cache_key == FaultPlan.parse("refuse:0.5", seed=3).cache_key
+        assert plan.cache_key != FaultPlan.parse("refuse:0.5", seed=4).cache_key
+
+
+class TestJsonLoading:
+    def test_from_json(self):
+        plan = FaultPlan.from_json(
+            {
+                "seed": 11,
+                "rules": [
+                    {"kind": "stall", "duration": 9, "domain": "*.x", "probability": 0.5},
+                    {"kind": "truncate", "after_bytes": 77, "max_triggers": 2},
+                ],
+            }
+        )
+        assert plan.seed == 11
+        stall, truncate = plan.rules
+        assert stall.kind is FaultKind.STALL and stall.duration == 9.0
+        assert stall.domain == "*.x" and stall.probability == 0.5
+        assert truncate.after_bytes == 77 and truncate.max_triggers == 2
+
+    def test_from_json_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json({"rules": [{"kind": "nope"}]})
+
+    def test_load_dispatches_on_file_existence(self, tmp_path):
+        doc = {"seed": 5, "rules": [{"kind": "refuse"}]}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        from_file = FaultPlan.load(str(path))
+        assert from_file.seed == 5
+        assert from_file.rules[0].kind is FaultKind.REFUSE
+        from_spec = FaultPlan.load("refuse", seed=5)
+        assert from_spec.rules[0].kind is FaultKind.REFUSE
+
+
+class TestSessionDraws:
+    def test_draws_deterministic_across_sessions(self):
+        plan = FaultPlan.parse("refuse:0.5", seed=42)
+        draws_a = [
+            plan.session().draw("site.test", 443, i) is not None for i in range(50)
+        ]
+        draws_b = [
+            plan.session().draw("site.test", 443, i) is not None for i in range(50)
+        ]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)  # actually probabilistic
+
+    def test_seed_changes_draws(self):
+        spec = "refuse:0.5"
+        draws = {
+            seed: tuple(
+                FaultPlan.parse(spec, seed=seed).session().draw("s.test", 443, i)
+                is not None
+                for i in range(64)
+            )
+            for seed in (1, 2)
+        }
+        assert draws[1] != draws[2]
+
+    def test_domain_glob_scoping(self):
+        plan = FaultPlan.parse("refuse@*.bad")
+        session = plan.session()
+        assert session.draw("x.bad", 443, 1) is not None
+        assert session.draw("x.good", 443, 2) is None
+
+    def test_max_triggers_caps_firing(self):
+        plan = FaultPlan.parse("refuse:1.0x2")
+        session = plan.session()
+        hits = [session.draw("s.test", 443, i) is not None for i in range(5)]
+        assert hits == [True, True, False, False, False]
+
+    def test_sessions_do_not_share_trigger_counters(self):
+        plan = FaultPlan.parse("refuse:1.0x1")
+        assert plan.session().draw("s.test", 443, 1) is not None
+        assert plan.session().draw("s.test", 443, 1) is not None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan.parse("reset@*.x,refuse")
+        session = plan.session()
+        assert session.draw("a.x", 443, 1).kind is FaultKind.RESET
+        assert session.draw("a.y", 443, 2).kind is FaultKind.REFUSE
+
+
+# -- wire-level behavior ------------------------------------------------------
+
+
+def connected_pair(spec, seed=0):
+    """A client/server endpoint pair with the plan's fault applied."""
+    sim = Simulation()
+    plan = FaultPlan.parse(spec, seed=seed)
+    network = Network(sim, seed=1, fault_plan=plan)
+    host = network.add_host("site.test", LinkProfile(rtt=0.02))
+    accepted = []
+    host.listen(443, accepted.append)
+    attempt = network.connect("site.test", 443)
+    sim.run(until=sim.now + 1.0)
+    return sim, attempt, accepted
+
+
+class TestWireEffects:
+    def test_refuse_resolves_attempt_refused(self):
+        sim, attempt, accepted = connected_pair("refuse")
+        assert attempt.refused and not attempt.established
+        assert accepted == []
+
+    def test_clean_plan_leaves_connection_untouched(self):
+        sim, attempt, accepted = connected_pair("refuse@*.elsewhere")
+        assert attempt.established
+        server = accepted[0]
+        assert server.fault is None
+        got = []
+        attempt.endpoint.on_data = got.append
+        server.send(b"hello")
+        sim.run(until=sim.now + 1.0)
+        assert got == [b"hello"]
+
+    def test_reset_tears_down_on_first_client_bytes(self):
+        sim, attempt, accepted = connected_pair("reset")
+        client = attempt.endpoint
+        closed = []
+        client.on_close = lambda: closed.append(True)
+        client.send(b"CLIENTHELLO\n")
+        sim.run(until=sim.now + 1.0)
+        assert accepted[0].closed  # server side reset the connection
+        assert client.closed and closed  # client observed the RST
+
+    def test_truncate_delivers_prefix_then_close(self):
+        sim, attempt, accepted = connected_pair("truncate(5)")
+        client, server = attempt.endpoint, accepted[0]
+        got, closed = [], []
+        client.on_data = got.append
+        client.on_close = lambda: closed.append(True)
+        server.send(b"0123456789")
+        sim.run(until=sim.now + 1.0)
+        assert got == [b"01234"]
+        assert closed and client.closed
+
+    def test_truncate_swallows_later_sends_without_raising(self):
+        sim, attempt, accepted = connected_pair("truncate(5)")
+        client, server = attempt.endpoint, accepted[0]
+        got = []
+        client.on_data = got.append
+        server.send(b"0123456789")
+        sim.run(until=sim.now + 1.0)
+        server.send(b"more")  # must not raise, must not arrive
+        sim.run(until=sim.now + 1.0)
+        assert got == [b"01234"]
+
+    def test_blackhole_goes_silent_after_budget(self):
+        sim, attempt, accepted = connected_pair("blackhole(4)")
+        client, server = attempt.endpoint, accepted[0]
+        got = []
+        client.on_data = got.append
+        server.send(b"ok")  # within budget
+        server.send(b"gone forever")  # over budget: swallowed
+        server.send(b"x")  # still swallowed once tripped
+        sim.run(until=sim.now + 60.0)
+        assert got == [b"ok"]
+        assert not client.closed  # a blackhole never closes
+
+    def test_stall_delays_delivery_by_duration(self):
+        sim, attempt, accepted = connected_pair("stall(30)")
+        client, server = attempt.endpoint, accepted[0]
+        arrivals = []
+        client.on_data = lambda data: arrivals.append(sim.now)
+        start = sim.now
+        server.send(b"late")
+        sim.run(until=sim.now + 60.0)
+        assert len(arrivals) == 1
+        assert arrivals[0] - start >= 30.0
+
+    def test_garbage_corrupts_past_budget_deterministically(self):
+        outputs = []
+        for _ in range(2):
+            sim, attempt, accepted = connected_pair("garbage(4)", seed=9)
+            got = []
+            attempt.endpoint.on_data = got.append
+            accepted[0].send(b"AAAABBBB")
+            sim.run(until=sim.now + 1.0)
+            outputs.append(got[0])
+        assert outputs[0] == outputs[1]  # same seed, same garbage
+        assert outputs[0][:4] == b"AAAA"  # prefix intact
+        assert outputs[0][4:] != b"BBBB"  # tail corrupted
+        assert len(outputs[0]) == 8
+
+    def test_hello_corrupt_garbles_only_first_server_chunk(self):
+        sim, attempt, accepted = connected_pair("hello-corrupt")
+        client, server = attempt.endpoint, accepted[0]
+        got = []
+        client.on_data = got.append
+        server.send(b"SERVERHELLO ...\n")
+        sim.run(until=sim.now + 1.0)
+        server.send(b"clean")
+        sim.run(until=sim.now + 1.0)
+        assert got[0] != b"SERVERHELLO ...\n"
+        assert got[0][0] == b"S"[0] ^ 0xFF  # first byte always flipped
+        assert got[1] == b"clean"
+
+
+class TestRuleMatching:
+    def test_matches_none_domain(self):
+        assert FaultRule(kind=FaultKind.REFUSE).matches("anything.test")
+
+    def test_matches_glob(self):
+        rule = FaultRule(kind=FaultKind.REFUSE, domain="site-*.test")
+        assert rule.matches("site-7.test")
+        assert not rule.matches("other.test")

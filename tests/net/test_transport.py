@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.clock import Simulation
-from repro.net.transport import Endpoint, LinkProfile, Network
+from repro.net.transport import LinkProfile, Network
 
 
 @pytest.fixture

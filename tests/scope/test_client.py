@@ -1,7 +1,7 @@
 """ScopeClient mechanics (connection setup, logging, waiting)."""
 
 from repro.h2 import events as ev
-from repro.h2.frames import DataFrame, HeadersFrame
+from repro.h2.frames import HeadersFrame
 from repro.net.clock import Simulation
 from repro.net.transport import LinkProfile, Network
 from repro.scope.client import ScopeClient

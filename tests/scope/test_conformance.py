@@ -1,7 +1,5 @@
 """RFC conformance suite against the six vendor models."""
 
-import pytest
-
 from repro.scope.conformance import Level, Verdict, run_conformance
 from tests.scope.conftest import TEST_PATHS, deploy_vendor
 

@@ -1,0 +1,223 @@
+"""Resilience layer: deadlines, classification, deterministic backoff."""
+
+import pytest
+
+from repro.net.clock import Simulation
+from repro.net.transport import Network
+from repro.scope.report import ErrorClass
+from repro.scope.resilience import (
+    BackoffPolicy,
+    ConnectionRefusedFault,
+    ConnectionResetFault,
+    Deadline,
+    DeadlineExceeded,
+    ProbeTimeout,
+    ResilienceConfig,
+    ScanFault,
+    TlsFault,
+    classify_exception,
+    make_scan_error,
+    run_resilient,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        ("exc", "expected"),
+        [
+            (ConnectionRefusedFault("x"), ErrorClass.TRANSIENT),
+            (ConnectionResetFault("x"), ErrorClass.TRANSIENT),
+            (ProbeTimeout("x"), ErrorClass.TIMEOUT),
+            (DeadlineExceeded("x"), ErrorClass.TIMEOUT),
+            (TlsFault("x"), ErrorClass.FATAL),
+            (ScanFault("x"), ErrorClass.FATAL),
+            (ConnectionResetError("os-level"), ErrorClass.TRANSIENT),
+            (OSError("os-level"), ErrorClass.TRANSIENT),
+            (TimeoutError("slow"), ErrorClass.TIMEOUT),
+            (ValueError("bug"), ErrorClass.FATAL),
+            (RuntimeError("bug"), ErrorClass.FATAL),
+        ],
+    )
+    def test_mapping(self, exc, expected):
+        assert classify_exception(exc) is expected
+
+    def test_make_scan_error_records_everything(self):
+        error = make_scan_error("settings", TlsFault("garbled hello"), attempts=3)
+        assert error.probe == "settings"
+        assert error.error_class is ErrorClass.FATAL
+        assert error.exception == "TlsFault"
+        assert error.message == "garbled hello"
+        assert error.attempts == 3
+        assert "attempts=3" in str(error)
+
+
+class TestDeadline:
+    def test_clamp_bounds_timeout_by_remaining(self):
+        sim = Simulation()
+        deadline = Deadline(sim, 10.0)
+        assert deadline.clamp(30.0) == 10.0
+        assert deadline.clamp(4.0) == 4.0
+
+    def test_expires_as_virtual_time_advances(self):
+        sim = Simulation()
+        deadline = Deadline(sim, 5.0)
+        assert not deadline.expired
+        sim.run(until=6.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.clamp(1.0, "settle")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        sim = Simulation()
+        sim.run(until=1.0)
+        deadline = Deadline(sim, 0.0)
+        try:
+            deadline.clamp(1.0)
+        except DeadlineExceeded as exc:
+            assert classify_exception(exc) is ErrorClass.TIMEOUT
+
+
+class TestBackoffPolicy:
+    def test_schedule_deterministic_for_same_seed(self):
+        policy = BackoffPolicy()
+        assert policy.schedule(6, seed=13) == policy.schedule(6, seed=13)
+
+    def test_schedule_differs_across_seeds(self):
+        policy = BackoffPolicy()
+        assert policy.schedule(6, seed=13) != policy.schedule(6, seed=14)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, max_delay=100.0, jitter=0.0)
+        assert policy.schedule(4) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_max_delay_caps_growth(self):
+        policy = BackoffPolicy(base=1.0, factor=10.0, max_delay=5.0, jitter=0.0)
+        assert policy.schedule(3) == [1.0, 5.0, 5.0]
+
+    def test_jitter_is_additive_and_bounded(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, max_delay=100.0, jitter=0.5)
+        for attempt, delay in enumerate(policy.schedule(5, seed=3)):
+            raw = min(100.0, 1.0 * 2.0**attempt)
+            assert raw <= delay < raw * 1.5
+
+
+class TestRunResilient:
+    def setup_method(self):
+        self.sim = Simulation()
+        self.network = Network(self.sim, seed=1)
+
+    def test_success_first_try(self):
+        attempts, error = run_resilient(
+            self.network, "probe", lambda: None, ResilienceConfig()
+        )
+        assert (attempts, error) == (1, None)
+        assert self.network.probe_policy is None  # policy cleared after run
+
+    def test_policy_installed_during_attempts(self):
+        seen = []
+
+        def fn():
+            seen.append(self.network.probe_policy)
+
+        run_resilient(self.network, "probe", fn, ResilienceConfig(timeout=7.0))
+        assert len(seen) == 1
+        assert seen[0].deadline is not None
+        assert seen[0].deadline.remaining == 7.0
+
+    def test_transient_failures_retried_until_success(self):
+        calls = []
+
+        def fn():
+            calls.append(self.sim.now)
+            if len(calls) < 3:
+                raise ConnectionRefusedFault("refused")
+
+        attempts, error = run_resilient(
+            self.network, "probe", fn, ResilienceConfig(retries=2)
+        )
+        assert attempts == 3
+        assert error is None
+        # Backoff elapsed on the virtual clock between attempts.
+        assert calls[1] > calls[0] and calls[2] > calls[1]
+
+    def test_retries_exhausted_reports_total_attempts(self):
+        def fn():
+            raise ConnectionResetFault("reset")
+
+        attempts, error = run_resilient(
+            self.network, "settings", fn, ResilienceConfig(retries=2)
+        )
+        assert attempts == 3  # 1 initial + 2 retries
+        assert error is not None
+        assert error.probe == "settings"
+        assert error.error_class is ErrorClass.TRANSIENT
+        assert error.attempts == 3
+
+    def test_timeout_not_retried(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ProbeTimeout("stalled")
+
+        attempts, error = run_resilient(
+            self.network, "probe", fn, ResilienceConfig(retries=5)
+        )
+        assert attempts == 1 and len(calls) == 1
+        assert error.error_class is ErrorClass.TIMEOUT
+
+    def test_fatal_not_retried(self):
+        def fn():
+            raise TlsFault("corrupt hello")
+
+        attempts, error = run_resilient(
+            self.network, "probe", fn, ResilienceConfig(retries=5)
+        )
+        assert attempts == 1
+        assert error.error_class is ErrorClass.FATAL
+        assert error.exception == "TlsFault"
+
+    def test_each_attempt_gets_a_fresh_deadline(self):
+        deadlines = []
+
+        def fn():
+            deadlines.append(self.network.probe_policy.deadline.at)
+            if len(deadlines) < 2:
+                raise ConnectionRefusedFault("refused")
+
+        run_resilient(
+            self.network, "probe", fn, ResilienceConfig(timeout=5.0, retries=1)
+        )
+        assert len(deadlines) == 2
+        assert deadlines[1] > deadlines[0]  # re-anchored after backoff
+
+    def test_backoff_schedule_deterministic_across_runs(self):
+        def failing_times(sim, network, n):
+            times = []
+
+            def fn():
+                times.append(sim.now)
+                raise ConnectionRefusedFault("refused")
+
+            run_resilient(network, "probe", fn, ResilienceConfig(retries=n), seed=5)
+            return times
+
+        run_a = failing_times(self.sim, self.network, 3)
+        sim_b = Simulation()
+        run_b = failing_times(sim_b, Network(sim_b, seed=1), 3)
+        assert run_a == run_b
+
+    def test_backoff_seed_scoped_per_probe(self):
+        def attempt_times(probe):
+            sim = Simulation()
+            network = Network(sim, seed=1)
+            times = []
+
+            def fn():
+                times.append(sim.now)
+                raise ConnectionRefusedFault("refused")
+
+            run_resilient(network, probe, fn, ResilienceConfig(retries=2), seed=5)
+            return times
+
+        assert attempt_times("negotiation") != attempt_times("settings")

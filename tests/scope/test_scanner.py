@@ -6,7 +6,7 @@ from repro.scope.report import SiteReport
 from repro.scope.scanner import ALL_PROBES, scan_population, scan_site
 from repro.servers.profiles import ServerProfile
 from repro.servers.site import Site
-from repro.servers.website import Resource, default_website, testbed_website
+from repro.servers.website import default_website, testbed_website
 
 
 def make_site(domain="scan.test", profile=None):
@@ -99,3 +99,107 @@ class TestScanPopulation:
         sites = [make_site(domain="same.test"), make_site(domain="same.test")]
         reports = scan_population(sites, include={"negotiation"})
         assert all(r.negotiation.headers_received for r in reports)
+
+
+class TestPerSiteIsolation:
+    def test_setup_failure_becomes_error_report(self, monkeypatch):
+        import repro.scope.scanner as scanner_module
+
+        real_deploy = scanner_module.deploy_site
+
+        def poisoned_deploy(network, site):
+            if site.domain == "bad.test":
+                raise RuntimeError("deploy exploded")
+            return real_deploy(network, site)
+
+        monkeypatch.setattr(scanner_module, "deploy_site", poisoned_deploy)
+        sites = [
+            make_site(domain="good.test"),
+            make_site(domain="bad.test"),
+            make_site(domain="also-good.test"),
+        ]
+        reports = scan_population(sites, include={"negotiation"})
+        assert [r.domain for r in reports] == [s.domain for s in sites]
+        assert not reports[0].failed and not reports[2].failed
+        bad = reports[1]
+        assert bad.failed
+        assert bad.errors[0].probe == "setup"
+        assert bad.errors[0].exception == "RuntimeError"
+
+    def test_scan_site_crash_becomes_error_report(self, monkeypatch):
+        import repro.scope.scanner as scanner_module
+
+        real_scan_site = scanner_module.scan_site
+
+        def crashing_scan_site(site, **kwargs):
+            if site.domain == "crash.test":
+                raise RuntimeError("scanner bug")
+            return real_scan_site(site, **kwargs)
+
+        monkeypatch.setattr(scanner_module, "scan_site", crashing_scan_site)
+        sites = [make_site(domain="ok.test"), make_site(domain="crash.test")]
+        reports = scan_population(sites, include={"negotiation"})
+        assert len(reports) == 2
+        assert not reports[0].failed
+        assert reports[1].errors[0].probe == "scan"
+
+    def test_unknown_probe_still_raises_for_caller_bugs(self):
+        with pytest.raises(ValueError):
+            scan_population([make_site()], include={"frobnicate"})
+
+
+class TestResilientScan:
+    def test_attempts_recorded_per_probe(self):
+        from repro.scope.resilience import ResilienceConfig
+
+        report = scan_site(
+            make_site(),
+            include={"negotiation", "settings"},
+            resilience=ResilienceConfig(),
+        )
+        assert report.probe_attempts == {"negotiation": 1, "settings": 1}
+        assert not report.failed and not report.retried
+
+    def test_capped_refusals_are_rescued_by_retry(self):
+        from repro.net.faults import FaultPlan
+        from repro.scope.resilience import ResilienceConfig
+
+        # Every connection refused until the cap; retries then succeed.
+        plan = FaultPlan.parse("refuse:1.0x1")
+        report = scan_site(
+            make_site(),
+            include={"negotiation"},
+            fault_plan=plan,
+            resilience=ResilienceConfig(retries=2),
+        )
+        assert report.probe_attempts["negotiation"] > 1
+        assert not report.failed
+        assert report.retried
+
+    def test_uncapped_refusals_exhaust_retries(self):
+        from repro.net.faults import FaultPlan
+        from repro.scope.report import ErrorClass
+        from repro.scope.resilience import ResilienceConfig
+
+        plan = FaultPlan.parse("refuse")
+        report = scan_site(
+            make_site(),
+            include={"negotiation"},
+            fault_plan=plan,
+            resilience=ResilienceConfig(retries=2),
+        )
+        assert report.failed
+        error = report.errors[0]
+        assert error.probe == "negotiation"
+        assert error.error_class is ErrorClass.TRANSIENT
+        assert error.attempts == 3
+
+    def test_legacy_mode_keeps_single_shot_semantics(self):
+        from repro.net.faults import FaultPlan
+
+        plan = FaultPlan.parse("refuse")
+        report = scan_site(make_site(), include={"negotiation"}, fault_plan=plan)
+        # Without resilience: no retries, no raising — the probe just
+        # reports an unresponsive site, matching pre-fault behavior.
+        assert report.probe_attempts == {}
+        assert not report.speaks_h2

@@ -126,3 +126,38 @@ class TestCampaigns:
                 store.save("exp1", self.make_report(name))
             loaded = store.load_campaign("exp1")
         assert [r.domain for r in loaded] == ["a.test", "b.test", "c.test"]
+
+
+class TestScanErrorRoundTrip:
+    def test_scan_errors_rebuild_as_dataclasses(self):
+        from repro.scope.report import ErrorClass, ScanError
+
+        report = SiteReport(domain="err.test")
+        report.errors.append(
+            ScanError(
+                probe="negotiation",
+                error_class=ErrorClass.TRANSIENT,
+                exception="ConnectionRefusedFault",
+                message="refused",
+                attempts=3,
+            )
+        )
+        report.probe_attempts = {"negotiation": 3, "settings": 1}
+        with ReportStore() as store:
+            store.save("exp1", report)
+            loaded = store.load("exp1", "err.test")
+        assert loaded.errors == report.errors
+        assert isinstance(loaded.errors[0], ScanError)
+        assert loaded.errors[0].error_class is ErrorClass.TRANSIENT
+        assert loaded.probe_attempts == {"negotiation": 3, "settings": 1}
+
+    def test_legacy_string_errors_survive(self):
+        # Documents written before the taxonomy stored bare strings.
+        import json
+
+        from repro.scope.storage import _encode, _rebuild
+
+        document = _encode(SiteReport(domain="old.test"))
+        document["errors"] = ["negotiation: something broke"]
+        rebuilt = _rebuild(SiteReport, json.loads(json.dumps(document)))
+        assert rebuilt.errors == ["negotiation: something broke"]

@@ -1,12 +1,8 @@
 """Learned push manifests (the §VI point-4 extension)."""
 
-import pytest
-
 from repro.analysis.pageload import visit_page
-from repro.h2 import events as ev
 from repro.net.clock import Simulation
 from repro.net.transport import LinkProfile, Network
-from repro.scope.client import ScopeClient
 from repro.servers.profiles import ServerProfile
 from repro.servers.site import Site, deploy_site
 from repro.servers.website import Resource, Website

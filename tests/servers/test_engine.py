@@ -1,7 +1,5 @@
 """Server engine behaviour, exercised through real connections."""
 
-import pytest
-
 from repro.h2 import events as ev
 from repro.h2.connection import Reaction
 from repro.h2.constants import ErrorCode, SettingCode
@@ -10,7 +8,7 @@ from repro.net.transport import LinkProfile, Network
 from repro.scope.client import ScopeClient
 from repro.servers.profiles import ServerProfile, TinyWindowBehavior
 from repro.servers.site import Site, deploy_site
-from repro.servers.website import Resource, Website, default_website
+from repro.servers.website import Website, default_website
 
 IWS = int(SettingCode.INITIAL_WINDOW_SIZE)
 MCS = int(SettingCode.MAX_CONCURRENT_STREAMS)

@@ -1,7 +1,5 @@
 """Cleartext HTTP/1.1 -> HTTP/2 upgrade (RFC 7540 §3.2, paper §IV-A)."""
 
-import pytest
-
 from repro.h2 import events as ev
 from repro.net.clock import Simulation
 from repro.net.transport import LinkProfile, Network

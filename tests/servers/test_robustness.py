@@ -6,9 +6,7 @@ uncaught exception here would poison population scans.  The server may
 GOAWAY, RST or ignore; it must not raise.
 """
 
-import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.h2 import events as ev

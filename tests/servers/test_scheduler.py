@@ -4,8 +4,6 @@ The scheduler is the axis §V-E measures; these tests pin down the
 observable differences directly at the frame level.
 """
 
-import pytest
-
 from repro.h2 import events as ev
 from repro.h2.frames import PriorityData
 from repro.net.clock import Simulation

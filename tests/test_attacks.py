@@ -1,7 +1,5 @@
 """DoS attack studies (paper §VI) and their defences."""
 
-import pytest
-
 from repro.attacks import (
     run_priority_churn_attack,
     run_slow_read_attack,

@@ -57,3 +57,65 @@ def test_report_on_empty_db(tmp_path, capsys):
     ReportStore(db).close()
     rc = main(["report", str(db)])
     assert rc == 1
+
+
+def test_scan_with_fault_plan(capsys):
+    rc = main(
+        ["scan", "-n", "40", "--fault-plan", "refuse:0.2x4,stall(30):0.1",
+         "--timeout", "8", "--retries", "2"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fault study" in out
+    assert "Scan resilience summary" in out
+    assert "refuse:0.2x4" in out
+
+
+def test_scan_resilient_control_condition(capsys):
+    # --retries alone triggers resilient mode with a clean network.
+    rc = main(["scan", "-n", "25", "--retries", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault plan: (none)" in out
+
+
+def test_scan_fault_plan_with_db(tmp_path, capsys):
+    db = tmp_path / "chaos.sqlite"
+    rc = main(["scan", "-n", "30", "--fault-plan", "refuse:0.3x6", "--db", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "experiment-1-faults" in out
+
+    from repro.scope.storage import ReportStore
+
+    with ReportStore(db) as store:
+        assert store.campaigns() == ["experiment-1-faults"]
+        assert store.count("experiment-1-faults") > 0
+
+
+def test_scan_fault_plan_from_json_file(tmp_path, capsys):
+    import json
+
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(
+        json.dumps({"rules": [{"kind": "refuse", "probability": 0.2}]})
+    )
+    rc = main(["scan", "-n", "25", "--fault-plan", str(plan_file)])
+    assert rc == 0
+    assert "Fault study" in capsys.readouterr().out
+
+
+def test_experiment_faults(capsys):
+    rc = main(["experiment", "faults", "-n", "40"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fault study" in out
+    assert "reports produced" in out
+
+
+def test_scan_bad_fault_plan_is_usage_error(capsys):
+    rc = main(["scan", "-n", "10", "--fault-plan", "explode"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "bad --fault-plan" in err
+    assert "explode" in err
