@@ -29,7 +29,13 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.net.clock import Simulation
-from repro.net.faults import FaultKind, FaultPlan, FaultSession, FaultState
+from repro.net.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSession,
+    FaultState,
+    stable_seed,
+)
 
 #: Segment size used for serialization and loss accounting.
 MSS = 1460
@@ -305,7 +311,12 @@ class Network:
             return attempt
 
         self._connection_counter += 1
-        conn_seed = hash((self.seed, server_name, port, self._connection_counter))
+        # stable_seed, not hash(): string hashing is randomized per
+        # process, and a resumed campaign must replay a site's original
+        # universe from a fresh process bit-for-bit.
+        conn_seed = stable_seed(
+            self.seed, server_name, port, self._connection_counter
+        )
 
         fault = None
         if self.fault_session is not None:

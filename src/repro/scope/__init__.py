@@ -14,20 +14,43 @@ server's reaction.
   thread-pool scanner, expressed over per-site simulations);
 * :mod:`repro.scope.resilience` — virtual-time deadlines, the
   transient/timeout/fatal failure taxonomy, and retry with
-  deterministic exponential backoff.
+  deterministic exponential backoff;
+* :mod:`repro.scope.campaign` — the crash-safe campaign journal:
+  manifests, per-site status rows, checkpoint/resume, quarantine.
 """
 
+from repro.scope.campaign import (
+    CampaignInterrupted,
+    CampaignJournal,
+    CampaignManifest,
+    CampaignResult,
+    ManifestMismatch,
+    SiteStatus,
+)
 from repro.scope.client import ScopeClient
 from repro.scope.report import ScanError, SiteReport, summarize_errors
 from repro.scope.resilience import BackoffPolicy, ResilienceConfig
-from repro.scope.scanner import scan_population, scan_site
+from repro.scope.scanner import (
+    ScanProgress,
+    run_campaign,
+    scan_population,
+    scan_site,
+)
 
 __all__ = [
     "BackoffPolicy",
+    "CampaignInterrupted",
+    "CampaignJournal",
+    "CampaignManifest",
+    "CampaignResult",
+    "ManifestMismatch",
     "ResilienceConfig",
     "ScanError",
+    "ScanProgress",
     "ScopeClient",
     "SiteReport",
+    "SiteStatus",
+    "run_campaign",
     "scan_population",
     "scan_site",
     "summarize_errors",

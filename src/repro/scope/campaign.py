@@ -1,0 +1,347 @@
+"""Campaign journal: crash-safe, resumable population scans.
+
+The paper's headline result rests on two Alexa top-1M scans run six
+months apart (§IV-B, §V) — multi-day campaigns that in practice must
+survive crashes, SIGINTs and misbehaving sites.  This module gives the
+*campaign* the durability PR 1 gave individual sites:
+
+* a :class:`CampaignManifest` pins everything that determines a scan's
+  results (seed, probe set, fault-plan spec, population size and
+  fingerprint, resilience budget) and is persisted next to the reports;
+* a :class:`CampaignJournal` keeps one status row per site
+  (``pending`` → ``done`` / ``failed`` / ``quarantined``) in the same
+  SQLite database, updated in the *same transaction* as the report
+  writes, so a checkpoint is atomic: after any crash the journal and
+  the report table agree;
+* resuming validates the requested configuration against the recorded
+  manifest field by field and refuses on the first mismatch
+  (:class:`ManifestMismatch`) — no silent partial overwrites;
+* a circuit breaker: sites that keep producing error reports are
+  retried across resumes until their attempt budget is exhausted, then
+  ``quarantined`` and never rescanned.
+
+Because every site is scanned in its own deterministic universe keyed
+by ``(seed, site_index)``, a campaign interrupted at *any* point and
+resumed produces byte-identical reports to an uninterrupted run — the
+repo's durability contract, enforced by ``tests/scope/test_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.net.faults import FaultPlan
+from repro.scope.report import SiteReport
+from repro.scope.resilience import ResilienceConfig
+from repro.scope.storage import ReportStore
+
+
+class SiteStatus(enum.Enum):
+    """Where one site stands within a campaign."""
+
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+    QUARANTINED = "quarantined"
+
+
+class CampaignError(RuntimeError):
+    """Base class for campaign/journal usage errors."""
+
+
+class CampaignExists(CampaignError):
+    """A fresh run would overwrite an already-journaled campaign."""
+
+
+class ManifestMismatch(CampaignError):
+    """Resume requested with a configuration the journal contradicts."""
+
+    def __init__(self, field_name: str, recorded: object, requested: object):
+        self.field = field_name
+        self.recorded = recorded
+        self.requested = requested
+        super().__init__(
+            f"manifest mismatch on {field_name!r}: journal has "
+            f"{recorded!r}, requested {requested!r}"
+        )
+
+
+class CampaignInterrupted(CampaignError):
+    """The scan was interrupted; the journal has been flushed."""
+
+    def __init__(self, campaign: str, flushed: int, remaining: int):
+        self.campaign = campaign
+        self.flushed = flushed
+        self.remaining = remaining
+        super().__init__(
+            f"campaign {campaign!r} interrupted: {flushed} sites journaled "
+            f"this run, {remaining} remaining"
+        )
+
+
+def population_fingerprint(domains: list[str]) -> str:
+    """A stable, process-independent hash of the site list."""
+    digest = hashlib.blake2b(
+        "\n".join(domains).encode(), digest_size=8
+    ).hexdigest()
+    return digest
+
+
+def _fault_fingerprint(plan: FaultPlan | None) -> str | None:
+    if plan is None:
+        return None
+    return plan.spec if plan.spec is not None else repr(plan.rules)
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """Everything that determines a campaign's results.
+
+    Two runs with equal manifests are guaranteed (by per-site universe
+    isolation) to produce byte-identical reports, which is why resume
+    compares every field here before touching the journal.
+    """
+
+    campaign: str
+    seed: int
+    probes: tuple[str, ...]
+    population_size: int
+    population_hash: str
+    fault_spec: str | None = None
+    fault_seed: int | None = None
+    timeout: float | None = None
+    retries: int | None = None
+
+    #: Fields compared on resume, in the order mismatches are reported.
+    COMPARED = (
+        "seed",
+        "probes",
+        "fault_spec",
+        "fault_seed",
+        "timeout",
+        "retries",
+        "population_size",
+        "population_hash",
+    )
+
+    @classmethod
+    def build(
+        cls,
+        campaign: str,
+        sites,
+        include: set[str],
+        seed: int,
+        fault_plan: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
+    ) -> "CampaignManifest":
+        domains = [site.domain for site in sites]
+        return cls(
+            campaign=campaign,
+            seed=seed,
+            probes=tuple(sorted(include)),
+            population_size=len(domains),
+            population_hash=population_fingerprint(domains),
+            fault_spec=_fault_fingerprint(fault_plan),
+            fault_seed=fault_plan.seed if fault_plan is not None else None,
+            timeout=resilience.timeout if resilience is not None else None,
+            retries=resilience.retries if resilience is not None else None,
+        )
+
+    def mismatch_against(self, requested: "CampaignManifest") -> str | None:
+        """The first field where ``requested`` contradicts this manifest."""
+        for name in self.COMPARED:
+            if getattr(self, name) != getattr(requested, name):
+                return name
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "CampaignManifest":
+        data = json.loads(document)
+        data["probes"] = tuple(data["probes"])
+        return cls(**data)
+
+
+@dataclass
+class JournalEntry:
+    """One scanned site's outcome, queued for the next checkpoint."""
+
+    site_index: int
+    domain: str
+    status: SiteStatus
+    attempts: int
+    report: SiteReport
+    virtual_time: float = 0.0
+    error: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """What one ``run_campaign`` invocation accomplished."""
+
+    campaign: str
+    total: int
+    scanned: int  # sites scanned in this run
+    skipped: int  # sites already terminal when this run started
+    counts: dict[str, int] = field(default_factory=dict)
+    virtual_seconds: float = 0.0
+
+
+class CampaignJournal:
+    """Per-site campaign state, stored alongside the reports.
+
+    The journal shares the :class:`ReportStore`'s connection so a
+    checkpoint (reports + status rows) is one SQLite transaction.
+    """
+
+    def __init__(self, store: ReportStore):
+        self._store = store
+        self._db = store.connection
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def campaigns(self) -> list[str]:
+        rows = self._db.execute(
+            "SELECT campaign FROM campaigns ORDER BY campaign"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def manifest(self, campaign: str) -> CampaignManifest | None:
+        row = self._db.execute(
+            "SELECT manifest FROM campaigns WHERE campaign = ?", (campaign,)
+        ).fetchone()
+        if row is None:
+            return None
+        return CampaignManifest.from_json(row[0])
+
+    def begin(self, manifest: CampaignManifest, domains: list[str]) -> None:
+        """Record a fresh campaign: manifest plus one pending row per site."""
+        if self.manifest(manifest.campaign) is not None:
+            raise CampaignExists(
+                f"campaign {manifest.campaign!r} is already journaled in "
+                f"this database; resume it (--resume) or use a fresh --db"
+            )
+        with self._store.transaction() as db:
+            db.execute(
+                "INSERT INTO campaigns (campaign, manifest) VALUES (?, ?)",
+                (manifest.campaign, manifest.to_json()),
+            )
+            db.executemany(
+                "INSERT INTO campaign_sites (campaign, site_index, domain) "
+                "VALUES (?, ?, ?)",
+                [
+                    (manifest.campaign, index, domain)
+                    for index, domain in enumerate(domains)
+                ],
+            )
+
+    def resume(
+        self, requested: CampaignManifest, max_site_attempts: int
+    ) -> None:
+        """Validate a resume request and open the circuit breaker.
+
+        Raises :class:`ManifestMismatch` naming the first field where the
+        requested configuration contradicts the journal; flips failed
+        sites whose attempt budget is spent to ``quarantined``.
+        """
+        recorded = self.manifest(requested.campaign)
+        if recorded is None:
+            raise CampaignError(
+                f"no journaled campaign {requested.campaign!r} in this "
+                f"database; run once without --resume first"
+            )
+        mismatch = recorded.mismatch_against(requested)
+        if mismatch is not None:
+            raise ManifestMismatch(
+                mismatch, getattr(recorded, mismatch), getattr(requested, mismatch)
+            )
+        with self._store.transaction() as db:
+            db.execute(
+                "UPDATE campaign_sites SET status = ? "
+                "WHERE campaign = ? AND status = ? AND attempts >= ?",
+                (
+                    SiteStatus.QUARANTINED.value,
+                    requested.campaign,
+                    SiteStatus.FAILED.value,
+                    max_site_attempts,
+                ),
+            )
+
+    # -- reading -----------------------------------------------------------
+
+    def pending(
+        self, campaign: str, max_site_attempts: int
+    ) -> list[tuple[int, str, int]]:
+        """Sites still owed work: ``(site_index, domain, attempts)`` rows.
+
+        Pending sites have never completed; failed sites are retried as
+        long as their attempt budget lasts.  Quarantined sites are out.
+        """
+        rows = self._db.execute(
+            "SELECT site_index, domain, attempts FROM campaign_sites "
+            "WHERE campaign = ? AND (status = ? OR (status = ? AND attempts < ?)) "
+            "ORDER BY site_index",
+            (
+                campaign,
+                SiteStatus.PENDING.value,
+                SiteStatus.FAILED.value,
+                max_site_attempts,
+            ),
+        ).fetchall()
+        return [(row[0], row[1], row[2]) for row in rows]
+
+    def counts(self, campaign: str) -> dict[str, int]:
+        """Status histogram with every status present (zeros included)."""
+        counts = {status.value: 0 for status in SiteStatus}
+        rows = self._db.execute(
+            "SELECT status, COUNT(*) FROM campaign_sites "
+            "WHERE campaign = ? GROUP BY status",
+            (campaign,),
+        ).fetchall()
+        for status, count in rows:
+            counts[status] = count
+        return counts
+
+    def virtual_seconds(self, campaign: str) -> float:
+        row = self._db.execute(
+            "SELECT SUM(virtual_time) FROM campaign_sites WHERE campaign = ?",
+            (campaign,),
+        ).fetchone()
+        return row[0] or 0.0
+
+    def statuses(self, campaign: str) -> dict[str, tuple[SiteStatus, int]]:
+        """Domain → (status, attempts), for tests and tooling."""
+        rows = self._db.execute(
+            "SELECT domain, status, attempts FROM campaign_sites "
+            "WHERE campaign = ? ORDER BY site_index",
+            (campaign,),
+        ).fetchall()
+        return {row[0]: (SiteStatus(row[1]), row[2]) for row in rows}
+
+    # -- writing -----------------------------------------------------------
+
+    def checkpoint(self, campaign: str, entries: list[JournalEntry]) -> None:
+        """Flush one batch atomically: reports + status rows together."""
+        if not entries:
+            return
+        with self._store.transaction() as db:
+            for entry in entries:
+                self._store.stage(campaign, entry.report)
+                db.execute(
+                    "UPDATE campaign_sites SET status = ?, attempts = ?, "
+                    "virtual_time = ?, last_error = ? "
+                    "WHERE campaign = ? AND site_index = ?",
+                    (
+                        entry.status.value,
+                        entry.attempts,
+                        entry.virtual_time,
+                        entry.error,
+                        campaign,
+                        entry.site_index,
+                    ),
+                )

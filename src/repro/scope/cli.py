@@ -26,7 +26,121 @@ def _cmd_testbed(args: argparse.Namespace) -> int:
     return 0 if not result.data["mismatches"] else 1
 
 
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact command line that resumes this campaign."""
+    parts = [
+        f"h2scope --seed {args.seed} scan",
+        f"--experiment {args.experiment}",
+        f"-n {args.n_sites}",
+        f"--db {args.db}",
+    ]
+    if args.fault_plan is not None:
+        parts.append(f"--fault-plan '{args.fault_plan}'")
+    if args.timeout is not None:
+        parts.append(f"--timeout {args.timeout}")
+    if args.retries is not None:
+        parts.append(f"--retries {args.retries}")
+    if args.checkpoint_every != 25:
+        parts.append(f"--checkpoint-every {args.checkpoint_every}")
+    parts.append("--resume")
+    return " ".join(parts)
+
+
+def _store_campaign(
+    args: argparse.Namespace,
+    campaign: str,
+    include,
+    fault_plan=None,
+    resilience=None,
+) -> int:
+    """Run a journaled, checkpointed campaign scan into ``args.db``.
+
+    SIGINT (Ctrl-C) flushes the journal and prints the exact resume
+    command; resuming against a mismatched configuration or a corrupt
+    database is a usage error, never a traceback.
+    """
+    import signal
+    import sqlite3
+
+    from repro.population import PopulationConfig, make_population
+    from repro.scope.campaign import (
+        CampaignError,
+        CampaignInterrupted,
+        ManifestMismatch,
+    )
+    from repro.scope.scanner import run_campaign
+    from repro.scope.storage import ReportStore, SchemaVersionError
+
+    sites = make_population(
+        PopulationConfig(
+            experiment=args.experiment, n_sites=args.n_sites, seed=args.seed
+        )
+    )
+    try:
+        store = ReportStore(args.db)
+    except (SchemaVersionError, sqlite3.DatabaseError) as exc:
+        print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+        return 2
+    try:  # make sure Ctrl-C raises KeyboardInterrupt even if inherited odd
+        previous_handler = signal.signal(
+            signal.SIGINT, signal.default_int_handler
+        )
+    except ValueError:  # not the main thread (tests, embedding)
+        previous_handler = None
+    try:
+        with store:
+            try:
+                result = run_campaign(
+                    sites,
+                    store,
+                    campaign,
+                    include=include,
+                    seed=args.seed,
+                    fault_plan=fault_plan,
+                    resilience=resilience,
+                    resume=args.resume,
+                    checkpoint_every=args.checkpoint_every,
+                )
+            except CampaignInterrupted as interrupt:
+                print(
+                    f"\ninterrupted: journal flushed "
+                    f"({interrupt.flushed} sites scanned this run, "
+                    f"{interrupt.remaining} remaining)"
+                )
+                print(f"resume with: {_resume_command(args)}")
+                return 130
+            except ManifestMismatch as exc:
+                print(f"cannot resume {campaign!r}: {exc}", file=sys.stderr)
+                return 2
+            except CampaignError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            counts = result.counts
+            print(
+                f"stored {store.count(campaign)} reports for {campaign} "
+                f"in {args.db}"
+            )
+            print(
+                f"campaign {campaign}: {counts['done']} done, "
+                f"{counts['failed']} failed, "
+                f"{counts['quarantined']} quarantined, "
+                f"{counts['pending']} pending "
+                f"({result.scanned} scanned this run, "
+                f"{result.skipped} already journaled; "
+                f"{result.virtual_seconds:.1f} virtual seconds)"
+            )
+            if counts["failed"] or counts["pending"]:
+                print(f"finish with: {_resume_command(args)}")
+        return 0
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
+    if args.resume and not args.db:
+        print("--resume requires --db (the journaled database)", file=sys.stderr)
+        return 2
     if (
         args.fault_plan is not None
         or args.timeout is not None
@@ -34,44 +148,36 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     ):
         return _cmd_scan_resilient(args)
 
-    from repro.experiments import (
-        adoption,
-        flowcontrol_scan,
-        priority_scan,
-        push_scan,
-        settings_tables,
-        table4,
-    )
-
-    for module in (
-        adoption,
-        table4,
-        settings_tables,
-        flowcontrol_scan,
-        priority_scan,
-        push_scan,
-    ):
-        result = module.run(
-            experiment=args.experiment, n_sites=args.n_sites, seed=args.seed
+    if not args.resume:
+        from repro.experiments import (
+            adoption,
+            flowcontrol_scan,
+            priority_scan,
+            push_scan,
+            settings_tables,
+            table4,
         )
-        print(result.text)
-        print("=" * 72)
+
+        for module in (
+            adoption,
+            table4,
+            settings_tables,
+            flowcontrol_scan,
+            priority_scan,
+            push_scan,
+        ):
+            result = module.run(
+                experiment=args.experiment, n_sites=args.n_sites, seed=args.seed
+            )
+            print(result.text)
+            print("=" * 72)
 
     if args.db:
-        from repro.experiments.common import population_scan
         from repro.scope.scanner import ALL_PROBES
-        from repro.scope.storage import ReportStore
 
-        _, reports, _ = population_scan(
-            args.experiment, args.n_sites, args.seed, frozenset(ALL_PROBES)
+        return _store_campaign(
+            args, f"experiment-{args.experiment}", include=ALL_PROBES
         )
-        campaign = f"experiment-{args.experiment}"
-        with ReportStore(args.db) as store:
-            store.save_many(campaign, reports)
-            print(
-                f"stored {store.count(campaign)} reports for {campaign} "
-                f"in {args.db}"
-            )
     return 0
 
 
@@ -84,33 +190,36 @@ def _cmd_scan_resilient(args: argparse.Namespace) -> int:
     """
     from repro.experiments import fault_study
     from repro.net.faults import FaultPlan
+    from repro.scope.resilience import ResilienceConfig
 
+    plan = None
     if args.fault_plan is not None:
         try:  # surface spec/JSON mistakes as a usage error, not a traceback
-            FaultPlan.load(args.fault_plan, seed=args.seed)
+            plan = FaultPlan.load(args.fault_plan, seed=args.seed)
         except ValueError as exc:
             print(f"bad --fault-plan: {exc}", file=sys.stderr)
             return 2
 
-    result = fault_study.run(
-        experiment=args.experiment,
-        n_sites=args.n_sites,
-        seed=args.seed,
-        fault_spec=args.fault_plan,
-        timeout=12.0 if args.timeout is None else args.timeout,
-        retries=2 if args.retries is None else args.retries,
-    )
-    print(result.text)
+    timeout = 12.0 if args.timeout is None else args.timeout
+    retries = 2 if args.retries is None else args.retries
+    if not args.resume:
+        result = fault_study.run(
+            experiment=args.experiment,
+            n_sites=args.n_sites,
+            seed=args.seed,
+            fault_spec=args.fault_plan,
+            timeout=timeout,
+            retries=retries,
+        )
+        print(result.text)
     if args.db:
-        from repro.scope.storage import ReportStore
-
-        campaign = f"experiment-{args.experiment}-faults"
-        with ReportStore(args.db) as store:
-            store.save_many(campaign, result.data["reports"])
-            print(
-                f"stored {store.count(campaign)} reports for {campaign} "
-                f"in {args.db}"
-            )
+        return _store_campaign(
+            args,
+            f"experiment-{args.experiment}-faults",
+            include=fault_study.PROBES,
+            fault_plan=plan,
+            resilience=ResilienceConfig(timeout=timeout, retries=retries),
+        )
     return 0
 
 
@@ -140,6 +249,72 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 print(
                     f"HPACK ratios: {len(ratios)} measured, "
                     f"{below:.0%} at or below 0.3\n"
+                )
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Summarize a journaled campaign database: manifest + status counts."""
+    import sqlite3
+
+    from repro.scope.campaign import CampaignJournal
+    from repro.scope.storage import ReportStore, SchemaVersionError
+
+    try:
+        store = ReportStore(args.db)
+    except (SchemaVersionError, sqlite3.DatabaseError) as exc:
+        print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        if args.verify:
+            problems = store.verify()
+            if problems:
+                for problem in problems:
+                    print(f"INTEGRITY: {problem}", file=sys.stderr)
+                return 1
+            print(f"{args.db}: integrity ok")
+        journal = CampaignJournal(store)
+        names = journal.campaigns()
+        if args.campaign is not None:
+            if args.campaign not in names:
+                print(
+                    f"no journaled campaign {args.campaign!r} in {args.db}",
+                    file=sys.stderr,
+                )
+                return 2
+            names = [args.campaign]
+        if not names:
+            print(f"{args.db}: no journaled campaigns")
+            return 1
+        for name in names:
+            manifest = journal.manifest(name)
+            counts = journal.counts(name)
+            total = sum(counts.values())
+            virtual = journal.virtual_seconds(name)
+            print(f"campaign {name}: {total} sites")
+            print(
+                f"  done {counts['done']}  failed {counts['failed']}  "
+                f"quarantined {counts['quarantined']}  "
+                f"pending {counts['pending']}"
+            )
+            print(
+                f"  manifest: seed {manifest.seed}, "
+                f"probes {','.join(manifest.probes)}, "
+                f"population {manifest.population_size} sites "
+                f"(hash {manifest.population_hash})"
+            )
+            if manifest.fault_spec is not None:
+                print(f"  fault plan: {manifest.fault_spec}")
+            if manifest.timeout is not None or manifest.retries is not None:
+                print(
+                    f"  resilience: timeout={manifest.timeout} "
+                    f"retries={manifest.retries}"
+                )
+            print(f"  virtual time spent: {virtual:.1f}s")
+            if counts["pending"] or counts["failed"]:
+                print(
+                    "  incomplete: rerun the original scan command with "
+                    "--resume to finish"
                 )
     return 0
 
@@ -288,11 +463,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry budget for transient failures (implies resilient mode)",
     )
+    scan.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the journaled campaign in --db: skip completed sites, "
+        "retry failed ones (refused if the configuration mismatches)",
+    )
+    scan.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="flush reports + journal to --db every N sites (default 25)",
+    )
     scan.set_defaults(func=_cmd_scan)
 
     report = sub.add_parser("report", help="summarize a stored scan database")
     report.add_argument("db", help="SQLite database written by 'scan --db'")
     report.set_defaults(func=_cmd_report)
+
+    status = sub.add_parser(
+        "campaign-status",
+        aliases=["campaign_status"],
+        help="journal summary for a campaign database: done/failed/"
+        "quarantined/pending counts plus the recorded manifest",
+    )
+    status.add_argument("db", help="SQLite database written by 'scan --db'")
+    status.add_argument(
+        "--campaign", default=None, help="limit to one campaign by name"
+    )
+    status.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the storage integrity check before summarizing",
+    )
+    status.set_defaults(func=_cmd_campaign_status)
 
     conformance = sub.add_parser(
         "conformance",

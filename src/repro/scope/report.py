@@ -185,6 +185,9 @@ class SiteReport:
     #: Attempts each probe needed (only recorded by resilient scans);
     #: a value above 1 means transient failures were retried away.
     probe_attempts: dict[str, int] = field(default_factory=dict)
+    #: Virtual seconds this site's scan consumed in its simulation
+    #: universe (deterministic; feeds the campaign progress ETA).
+    scan_virtual_time: float = 0.0
 
     @property
     def speaks_h2(self) -> bool:

@@ -11,10 +11,19 @@ interface fidelity and for chunked progress reporting.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 from repro.net.clock import Simulation
 from repro.net.faults import FaultPlan
 from repro.net.transport import Network
+from repro.scope.campaign import (
+    CampaignInterrupted,
+    CampaignJournal,
+    CampaignManifest,
+    CampaignResult,
+    JournalEntry,
+    SiteStatus,
+)
 from repro.scope.probes import (
     probe_hpack,
     probe_large_window_update,
@@ -34,6 +43,7 @@ from repro.scope.resilience import (
     make_scan_error,
     run_resilient,
 )
+from repro.scope.storage import ReportStore
 from repro.servers.site import Site, deploy_site
 
 #: Probe groups a scan can include.
@@ -53,6 +63,30 @@ def _validate_include(include: Iterable[str] | None) -> set[str]:
     if unknown:
         raise ValueError(f"unknown probes: {sorted(unknown)}")
     return include_set
+
+
+@dataclass(frozen=True)
+class ScanProgress:
+    """One progress tick: completion, failures and a virtual-time ETA."""
+
+    done: int
+    total: int
+    #: Sites whose report carries errors (failed + quarantined so far).
+    errors: int = 0
+    quarantined: int = 0
+    #: Cumulative virtual seconds spent across per-site universes.
+    virtual_seconds: float = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def eta_virtual_seconds(self) -> float:
+        """Remaining virtual time, extrapolated from the per-site mean."""
+        if self.done <= 0:
+            return 0.0
+        return self.virtual_seconds / self.done * self.remaining
 
 
 def scan_site(
@@ -81,6 +115,7 @@ def scan_site(
     except Exception as exc:  # noqa: BLE001 - a poisoned site must not
         # abort the scan; record the setup failure and move on.
         report.errors.append(make_scan_error("setup", exc))
+        report.scan_virtual_time = sim.now
         return report
 
     def guarded(name: str, fn: Callable[[], None]) -> None:
@@ -103,6 +138,7 @@ def scan_site(
             ),
         )
         if not report.speaks_h2:
+            report.scan_virtual_time = sim.now
             return report
 
     if "settings" in include_set:
@@ -169,6 +205,7 @@ def scan_site(
             lambda: setattr(report, "ping", probe_ping(network, site.domain)),
         )
 
+    report.scan_virtual_time = sim.now
     return report
 
 
@@ -177,7 +214,7 @@ def scan_population(
     include: Iterable[str] | None = None,
     seed: int = 0,
     workers: int = 8,
-    progress: Callable[[int, int], None] | None = None,
+    progress: Callable[[ScanProgress], None] | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
 ) -> list[SiteReport]:
@@ -187,9 +224,25 @@ def scan_population(
     results; reports come back in input order.  Per-site isolation is
     total: any exception a site's setup or scan raises becomes an
     error-bearing :class:`SiteReport` instead of aborting the scan.
+    ``progress`` receives :class:`ScanProgress` ticks carrying error
+    counts and a virtual-time ETA alongside ``(done, total)``.
     """
     _validate_include(include)  # a caller bug, not a per-site failure
     reports: list[SiteReport] = []
+    errors = 0
+    virtual_seconds = 0.0
+
+    def emit(done: int) -> None:
+        if progress is not None:
+            progress(
+                ScanProgress(
+                    done=done,
+                    total=len(sites),
+                    errors=errors,
+                    virtual_seconds=virtual_seconds,
+                )
+            )
+
     for index, site in enumerate(sites):
         try:
             reports.append(
@@ -205,8 +258,135 @@ def scan_population(
             broken = SiteReport(domain=site.domain)
             broken.errors.append(make_scan_error("scan", exc))
             reports.append(broken)
-        if progress is not None and (index + 1) % max(1, workers) == 0:
-            progress(index + 1, len(sites))
-    if progress is not None:
-        progress(len(sites), len(sites))
+        if reports[-1].failed:
+            errors += 1
+        virtual_seconds += reports[-1].scan_virtual_time
+        if (index + 1) % max(1, workers) == 0:
+            emit(index + 1)
+    emit(len(sites))
     return reports
+
+
+def run_campaign(
+    sites: list[Site],
+    store: ReportStore,
+    campaign: str,
+    include: Iterable[str] | None = None,
+    seed: int = 0,
+    fault_plan: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 25,
+    max_site_attempts: int = 3,
+    progress: Callable[[ScanProgress], None] | None = None,
+) -> CampaignResult:
+    """Journaled, crash-safe population scan.
+
+    A streaming variant of :func:`scan_population`: results are flushed
+    to ``store`` every ``checkpoint_every`` sites in one transaction
+    (reports + journal rows together), so an interrupt or crash loses at
+    most one unflushed batch of work — and loses it *recoverably*,
+    because ``resume=True`` skips completed sites and retries failed
+    ones with their original ``(seed + site_index)`` universe, making
+    the merged reports byte-identical to an uninterrupted run.
+
+    Failed sites are retried across resumes until ``max_site_attempts``
+    is exhausted, then quarantined (the circuit breaker): their last
+    report stays in the store, but no further scan time is spent.
+
+    Raises :class:`~repro.scope.campaign.CampaignInterrupted` on
+    SIGINT/KeyboardInterrupt after flushing everything scanned so far,
+    and :class:`~repro.scope.campaign.ManifestMismatch` when resuming
+    with a configuration the journal contradicts.
+    """
+    include_set = _validate_include(include)
+    journal = CampaignJournal(store)
+    manifest = CampaignManifest.build(
+        campaign, sites, include_set, seed, fault_plan, resilience
+    )
+    if resume:
+        journal.resume(manifest, max_site_attempts)
+    else:
+        journal.begin(manifest, [site.domain for site in sites])
+
+    todo = journal.pending(campaign, max_site_attempts)
+    counts = journal.counts(campaign)
+    virtual_seconds = journal.virtual_seconds(campaign)
+    total = len(sites)
+    skipped = total - len(todo)
+
+    def emit() -> None:
+        # ``done`` counts sites with a journaled terminal status, so a
+        # resume's first tick already credits everything scanned before
+        # the interrupt (retries of failed sites keep it flat, not double).
+        if progress is not None:
+            progress(
+                ScanProgress(
+                    done=total - counts[SiteStatus.PENDING.value],
+                    total=total,
+                    errors=counts[SiteStatus.FAILED.value]
+                    + counts[SiteStatus.QUARANTINED.value],
+                    quarantined=counts[SiteStatus.QUARANTINED.value],
+                    virtual_seconds=virtual_seconds,
+                )
+            )
+
+    batch: list[JournalEntry] = []
+    scanned = 0
+    try:
+        for site_index, domain, prior_attempts in todo:
+            site = sites[site_index]
+            try:
+                report = scan_site(
+                    site,
+                    include=include_set,
+                    seed=seed + site_index,
+                    fault_plan=fault_plan,
+                    resilience=resilience,
+                )
+            except Exception as exc:  # noqa: BLE001 - one site, one report
+                report = SiteReport(domain=site.domain)
+                report.errors.append(make_scan_error("scan", exc))
+            attempts = prior_attempts + 1
+            if not report.failed:
+                status = SiteStatus.DONE
+            elif attempts >= max_site_attempts:
+                status = SiteStatus.QUARANTINED
+            else:
+                status = SiteStatus.FAILED
+            batch.append(
+                JournalEntry(
+                    site_index=site_index,
+                    domain=domain,
+                    status=status,
+                    attempts=attempts,
+                    report=report,
+                    virtual_time=report.scan_virtual_time,
+                    error=str(report.errors[0]) if report.failed else None,
+                )
+            )
+            scanned += 1
+            if prior_attempts > 0:  # a retried failure leaves 'failed'
+                counts[SiteStatus.FAILED.value] -= 1
+            else:
+                counts[SiteStatus.PENDING.value] -= 1
+            counts[status.value] += 1
+            virtual_seconds += report.scan_virtual_time
+            if len(batch) >= max(1, checkpoint_every):
+                journal.checkpoint(campaign, batch)
+                batch = []
+            emit()
+    except (KeyboardInterrupt, SystemExit):
+        journal.checkpoint(campaign, batch)
+        raise CampaignInterrupted(
+            campaign, flushed=scanned, remaining=len(todo) - scanned
+        ) from None
+    journal.checkpoint(campaign, batch)
+    return CampaignResult(
+        campaign=campaign,
+        total=total,
+        scanned=scanned,
+        skipped=skipped,
+        counts=journal.counts(campaign),
+        virtual_seconds=virtual_seconds,
+    )

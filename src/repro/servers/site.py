@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.net.faults import stable_seed
 from repro.net.transport import LinkProfile, Network
 from repro.servers.engine import H2Server
 from repro.servers.profiles import ServerProfile
@@ -42,7 +43,9 @@ def deploy_site(
         network.sim,
         site.profile,
         site.website,
-        seed=hash((network.seed, site.domain)) & 0xFFFFFFFF,
+        # stable_seed, not hash(): the engine's universe must be
+        # reproducible across processes (campaign crash/resume).
+        seed=stable_seed(network.seed, site.domain) & 0xFFFFFFFF,
     )
     server.install(host, port, tls=True)
     if clear_port is not None:

@@ -39,14 +39,19 @@ class TestH1ParallelVisit:
         assert plt > 0
 
     def test_more_connections_help_under_loss(self):
-        def run(connections):
+        # A statistical property: any single seed can draw a loss
+        # pattern where parallelism loses, so compare means over a few.
+        def run(connections, seed):
             site = make_site(loss=0.05)
             sim = Simulation()
-            network = Network(sim, seed=3)
+            network = Network(sim, seed=seed)
             deploy_site(network, site)
             return h1_parallel_visit(network, site, connections=connections)
 
-        assert run(6) < run(1)
+        seeds = range(5)
+        mean6 = sum(run(6, s) for s in seeds) / len(seeds)
+        mean1 = sum(run(1, s) for s in seeds) / len(seeds)
+        assert mean6 < mean1
 
     def test_single_h1_connection_slower_than_h2(self):
         # Without loss, one h1 connection serializes request/response

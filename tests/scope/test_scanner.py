@@ -90,9 +90,18 @@ class TestScanPopulation:
             sites,
             include={"negotiation"},
             workers=2,
-            progress=lambda done, total: seen.append((done, total)),
+            progress=seen.append,
         )
-        assert seen[-1] == (5, 5)
+        last = seen[-1]
+        assert (last.done, last.total) == (5, 5)
+        assert last.errors == 0
+        assert last.quarantined == 0
+        assert last.virtual_seconds > 0
+        assert last.eta_virtual_seconds == 0.0
+        # Mid-scan ticks extrapolate a virtual-time ETA from the mean.
+        mid = seen[0]
+        assert mid.remaining == 3
+        assert mid.eta_virtual_seconds > 0
 
     def test_sites_isolated_from_each_other(self):
         # Same domain twice: would collide if they shared a network.

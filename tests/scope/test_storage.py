@@ -128,6 +128,169 @@ class TestCampaigns:
         assert [r.domain for r in loaded] == ["a.test", "b.test", "c.test"]
 
 
+class TestStorageHardening:
+    """WAL, schema versioning, atomic batches, integrity checks."""
+
+    def make_report(self, domain):
+        return SiteReport(
+            domain=domain,
+            negotiation=NegotiationResult(
+                tcp_connected=True,
+                alpn_h2=True,
+                headers_received=True,
+                server_header="nginx/1.9.15",
+            ),
+        )
+
+    def test_wal_mode_on_disk(self, tmp_path):
+        with ReportStore(tmp_path / "wal.db") as store:
+            mode = store.connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_newer_schema_version_refused(self, tmp_path):
+        from repro.scope.storage import SCHEMA_VERSION, SchemaVersionError
+
+        path = tmp_path / "future.db"
+        ReportStore(path).close()
+        import sqlite3
+
+        db = sqlite3.connect(path)
+        with db:
+            db.execute("UPDATE schema_version SET version = ?", (SCHEMA_VERSION + 1,))
+        db.close()
+        with pytest.raises(SchemaVersionError, match="newer than this tool"):
+            ReportStore(path)
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        # A PR-1-era file has the reports table but no version stamp and
+        # no journal tables; opening it must migrate, not refuse.
+        import sqlite3
+
+        from repro.scope.storage import SCHEMA_VERSION
+
+        path = tmp_path / "v1.db"
+        db = sqlite3.connect(path)
+        with db:
+            db.execute(
+                "CREATE TABLE reports (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+                "campaign TEXT NOT NULL, domain TEXT NOT NULL, "
+                "server_header TEXT, speaks_h2 INTEGER NOT NULL, "
+                "headers_received INTEGER NOT NULL, hpack_ratio REAL, "
+                "document TEXT NOT NULL, UNIQUE (campaign, domain))"
+            )
+        db.close()
+        with ReportStore(path) as store:
+            version = store.connection.execute(
+                "SELECT MAX(version) FROM schema_version"
+            ).fetchone()[0]
+            assert version == SCHEMA_VERSION
+            store.connection.execute("SELECT COUNT(*) FROM campaign_sites")
+            assert store.verify() == []
+
+    def test_save_many_is_one_atomic_transaction(self, tmp_path):
+        # A poisoned batch must roll back wholesale: no partial flush.
+        good = [self.make_report(f"s{i}.test") for i in range(3)]
+        with ReportStore(tmp_path / "atomic.db") as store:
+            with pytest.raises(Exception):
+                store.save_many("exp1", good + [object()])
+            assert store.count("exp1") == 0
+            store.save_many("exp1", good)
+            assert store.count("exp1") == 3
+
+    def test_verify_clean_database(self, tmp_path):
+        path = tmp_path / "clean.db"
+        with ReportStore(path) as store:
+            store.save("exp1", self.make_report("a.test"))
+            assert store.verify() == []
+        from repro.scope.storage import verify_database
+
+        assert verify_database(path) == []
+
+    def test_verify_truncated_file_reports_corruption(self, tmp_path):
+        from repro.scope.storage import verify_database
+
+        path = tmp_path / "trunc.db"
+        with ReportStore(path) as store:
+            store.save_many(
+                "exp1", [self.make_report(f"s{i}.test") for i in range(80)]
+            )
+            # Fold the WAL back into the main file so truncating the
+            # database file is guaranteed to destroy committed pages.
+            store.connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        problems = verify_database(path)
+        assert problems  # never raises, always explains
+
+    def test_verify_flags_done_site_without_report(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "orphan.db"
+        ReportStore(path).close()
+        db = sqlite3.connect(path)
+        with db:
+            db.execute(
+                "INSERT INTO campaign_sites "
+                "(campaign, site_index, domain, status) "
+                "VALUES ('camp', 0, 'ghost.test', 'done')"
+            )
+        db.close()
+        with ReportStore(path) as store:
+            problems = store.verify()
+        assert any("ghost.test" in problem for problem in problems)
+
+
+class TestQuarantineRoundTrip:
+    def test_quarantined_site_survives_reopen(self, tmp_path):
+        from repro.scope.campaign import (
+            CampaignJournal,
+            CampaignManifest,
+            JournalEntry,
+            SiteStatus,
+        )
+
+        report = SiteReport(domain="bad.test")
+        report.errors.append("negotiation: refused forever")
+        manifest = CampaignManifest(
+            campaign="camp",
+            seed=7,
+            probes=("negotiation",),
+            population_size=1,
+            population_hash="feed",
+        )
+        path = tmp_path / "q.db"
+        with ReportStore(path) as store:
+            journal = CampaignJournal(store)
+            journal.begin(manifest, ["bad.test"])
+            journal.checkpoint(
+                "camp",
+                [
+                    JournalEntry(
+                        site_index=0,
+                        domain="bad.test",
+                        status=SiteStatus.QUARANTINED,
+                        attempts=3,
+                        report=report,
+                        virtual_time=12.5,
+                        error="negotiation: refused forever",
+                    )
+                ],
+            )
+        with ReportStore(path) as store:
+            journal = CampaignJournal(store)
+            assert journal.manifest("camp") == manifest
+            status, attempts = journal.statuses("camp")["bad.test"]
+            assert status is SiteStatus.QUARANTINED
+            assert attempts == 3
+            assert journal.counts("camp")["quarantined"] == 1
+            assert journal.pending("camp", max_site_attempts=3) == []
+            assert journal.virtual_seconds("camp") == 12.5
+            # The quarantined site's last report stays queryable.
+            loaded = store.load("camp", "bad.test")
+            assert loaded is not None and loaded.failed
+
+
 class TestScanErrorRoundTrip:
     def test_scan_errors_rebuild_as_dataclasses(self):
         from repro.scope.report import ErrorClass, ScanError

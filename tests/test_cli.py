@@ -119,3 +119,121 @@ def test_scan_bad_fault_plan_is_usage_error(capsys):
     err = capsys.readouterr().err
     assert "bad --fault-plan" in err
     assert "explode" in err
+
+
+def half_finished_journal(db):
+    """A campaign interrupted mid-flight: done + failed + pending rows."""
+    import pytest
+
+    from repro.net.faults import FaultPlan
+    from repro.population import PopulationConfig, make_population
+    from repro.scope.campaign import CampaignInterrupted
+    from repro.scope.resilience import ResilienceConfig
+    from repro.scope.scanner import run_campaign
+    from repro.scope.storage import ReportStore
+
+    def kill_at_12(progress):
+        if progress.done >= 12:
+            raise KeyboardInterrupt
+
+    # Exactly the configuration `h2scope --seed 7 scan -n 30
+    # --fault-plan refuse:0.2x4 --timeout 8 --retries 0 --db ...` builds,
+    # so the CLI can resume this journal.
+    from repro.experiments import fault_study
+
+    sites = make_population(PopulationConfig(experiment=1, n_sites=30, seed=7))
+    with ReportStore(db) as store:
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(
+                sites,
+                store,
+                "experiment-1-faults",
+                include=fault_study.PROBES,
+                seed=7,
+                fault_plan=FaultPlan.parse("refuse:0.2x4", seed=7),
+                resilience=ResilienceConfig(timeout=8.0, retries=0),
+                checkpoint_every=5,
+                progress=kill_at_12,
+            )
+    return sites
+
+
+def test_campaign_status_on_half_finished_journal(tmp_path, capsys):
+    db = tmp_path / "half.sqlite"
+    half_finished_journal(db)
+    rc = main(["campaign-status", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "campaign experiment-1-faults" in out
+    for label in ("done", "failed", "quarantined", "pending"):
+        assert label in out
+    assert "manifest: seed 7" in out
+    assert "probes negotiation,ping,settings" in out
+    assert "fault plan: refuse:0.2x4" in out
+    assert "incomplete" in out  # pending sites remain → resume hint
+
+
+def test_campaign_status_verify_ok(tmp_path, capsys):
+    db = tmp_path / "half.sqlite"
+    half_finished_journal(db)
+    rc = main(["campaign-status", "--verify", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "integrity ok" in out
+
+
+def test_campaign_status_unknown_campaign(tmp_path, capsys):
+    db = tmp_path / "half.sqlite"
+    half_finished_journal(db)
+    rc = main(["campaign-status", "--campaign", "nope", str(db)])
+    assert rc == 2
+    assert "no journaled campaign" in capsys.readouterr().err
+
+
+def test_campaign_status_empty_db(tmp_path, capsys):
+    from repro.scope.storage import ReportStore
+
+    db = tmp_path / "empty.sqlite"
+    ReportStore(db).close()
+    rc = main(["campaign-status", str(db)])
+    assert rc == 1
+    assert "no journaled campaigns" in capsys.readouterr().out
+
+
+def test_resume_requires_db(capsys):
+    rc = main(["scan", "-n", "10", "--resume"])
+    assert rc == 2
+    assert "--resume requires --db" in capsys.readouterr().err
+
+
+def test_resume_mismatched_seed_is_usage_error_not_traceback(tmp_path, capsys):
+    db = tmp_path / "half.sqlite"
+    half_finished_journal(db)
+    rc = main(
+        ["--seed", "8", "scan", "-n", "30", "--db", str(db), "--resume",
+         "--fault-plan", "refuse:0.2x4", "--timeout", "8", "--retries", "0"]
+    )
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "cannot resume" in err
+    assert "seed" in err
+
+
+def test_resume_completes_interrupted_campaign(tmp_path, capsys):
+    db = tmp_path / "half.sqlite"
+    half_finished_journal(db)
+    rc = main(
+        ["scan", "-n", "30", "--db", str(db), "--resume",
+         "--fault-plan", "refuse:0.2x4", "--timeout", "8", "--retries", "0"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 pending" in out
+
+    from repro.scope.campaign import CampaignJournal
+    from repro.scope.storage import ReportStore
+
+    with ReportStore(db) as store:
+        counts = CampaignJournal(store).counts("experiment-1-faults")
+        assert counts["pending"] == 0
+        assert store.count("experiment-1-faults") == sum(counts.values())
