@@ -19,9 +19,11 @@ from repro.population.distributions import experiment_data
 PROBES = frozenset({"negotiation"})
 
 
-def run(experiment: int = 1, n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+def run(
+    experiment: int = 1, n_sites: int = 400, seed: int = 7, workers: int = 1
+) -> ExperimentResult:
     data = experiment_data(experiment)
-    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES)
+    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES, workers=workers)
 
     npn = sum(1 for r in reports if r.negotiation.npn_h2)
     alpn = sum(1 for r in reports if r.negotiation.alpn_h2)

@@ -36,13 +36,17 @@ def population_scan(
     include_unresponsive: bool = True,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    workers: int = 1,
 ) -> tuple[list[Site], list[SiteReport], float]:
     """Generate + scan a population once per (experiment, size, probes).
 
     Returns ``(sites, reports, scale)`` where ``scale`` converts
     generated-site counts into paper-population counts.  ``fault_plan``
     and ``resilience`` switch the scan into chaos mode: deterministic
-    fault injection plus deadline/retry execution.
+    fault injection plus deadline/retry execution.  ``workers`` shards
+    the scan across processes; it is deliberately *not* part of the
+    cache key, because reports are byte-identical for any worker count
+    (the determinism contract of :mod:`repro.scope.parallel`).
     """
     key = (
         experiment,
@@ -67,6 +71,7 @@ def population_scan(
             seed=seed,
             fault_plan=fault_plan,
             resilience=resilience,
+            workers=workers,
         )
         _SCAN_CACHE[key] = (sites, reports, config.scale)
     return _SCAN_CACHE[key]

@@ -39,6 +39,7 @@ def run(
     fault_spec: str | None = DEFAULT_PLAN_SPEC,
     timeout: float = 12.0,
     retries: int = 2,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Scan ``n_sites`` with injected faults; summarize the taxonomy.
 
@@ -56,6 +57,7 @@ def run(
         PROBES,
         fault_plan=plan,
         resilience=resilience,
+        workers=workers,
     )
     taxonomy = summarize_errors(reports)
 

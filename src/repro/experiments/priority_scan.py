@@ -20,9 +20,11 @@ from repro.scope.report import ErrorReaction
 PROBES = frozenset({"negotiation", "priority"})
 
 
-def run(experiment: int = 1, n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+def run(
+    experiment: int = 1, n_sites: int = 400, seed: int = 7, workers: int = 1
+) -> ExperimentResult:
     data = experiment_data(experiment)
-    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES)
+    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES, workers=workers)
     responsive = [r for r in reports if r.negotiation.headers_received]
 
     by_last = sum(1 for r in responsive if r.priority.follows_rules_by_last)

@@ -18,9 +18,11 @@ from repro.population.distributions import experiment_data
 PROBES = frozenset({"negotiation", "push"})
 
 
-def run(experiment: int = 1, n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+def run(
+    experiment: int = 1, n_sites: int = 400, seed: int = 7, workers: int = 1
+) -> ExperimentResult:
     data = experiment_data(experiment)
-    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES)
+    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES, workers=workers)
     responsive = [r for r in reports if r.negotiation.headers_received]
 
     pushing = [r for r in responsive if r.push.push_received]

@@ -68,9 +68,11 @@ def _format_one(
     return format_table(["value", "paper", "measured (scaled)"], rows, title=title)
 
 
-def run(experiment: int = 1, n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+def run(
+    experiment: int = 1, n_sites: int = 400, seed: int = 7, workers: int = 1
+) -> ExperimentResult:
     data = experiment_data(experiment)
-    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES)
+    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES, workers=workers)
 
     iws = _distribution(reports, IWS, absent_label="(default 65,535)")
     mfs = _distribution(reports, MFS, absent_label="(default 16,384)")

@@ -33,9 +33,11 @@ FAMILY_LABELS = {
 }
 
 
-def run(experiment: int = 1, n_sites: int = 400, seed: int = 7) -> ExperimentResult:
+def run(
+    experiment: int = 1, n_sites: int = 400, seed: int = 7, workers: int = 1
+) -> ExperimentResult:
     data = experiment_data(experiment)
-    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES)
+    sites, reports, scale = population_scan(experiment, n_sites, seed, PROBES, workers=workers)
 
     counts: Counter[str] = Counter()
     distinct_headers: set[str] = set()

@@ -42,6 +42,10 @@ def _resume_command(args: argparse.Namespace) -> str:
         parts.append(f"--retries {args.retries}")
     if args.checkpoint_every != 25:
         parts.append(f"--checkpoint-every {args.checkpoint_every}")
+    if args.workers != 1:
+        # Not part of the manifest: resuming with a different worker
+        # count is safe and produces byte-identical results.
+        parts.append(f"--workers {args.workers}")
     parts.append("--resume")
     return " ".join(parts)
 
@@ -100,6 +104,7 @@ def _store_campaign(
                     resilience=resilience,
                     resume=args.resume,
                     checkpoint_every=args.checkpoint_every,
+                    workers=args.workers,
                 )
             except CampaignInterrupted as interrupt:
                 print(
@@ -167,7 +172,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             push_scan,
         ):
             result = module.run(
-                experiment=args.experiment, n_sites=args.n_sites, seed=args.seed
+                experiment=args.experiment,
+                n_sites=args.n_sites,
+                seed=args.seed,
+                workers=args.workers,
             )
             print(result.text)
             print("=" * 72)
@@ -210,6 +218,7 @@ def _cmd_scan_resilient(args: argparse.Namespace) -> int:
             fault_spec=args.fault_plan,
             timeout=timeout,
             retries=retries,
+            workers=args.workers,
         )
         print(result.text)
     if args.db:
@@ -475,6 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=25,
         metavar="N",
         help="flush reports + journal to --db every N sites (default 25)",
+    )
+    scan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the scan across N worker processes (results are "
+        "byte-identical for any N; a campaign may be resumed with a "
+        "different N)",
     )
     scan.set_defaults(func=_cmd_scan)
 

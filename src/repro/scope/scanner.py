@@ -2,10 +2,12 @@
 
 The paper's H2Scope scans with a poll()-based event loop and a thread
 pool, one site per worker.  Here every site gets its own deterministic
-simulation universe (clock + network + deployed origin), which is the
-moral equivalent of the per-worker isolation while keeping results
-exactly reproducible.  The ``workers`` parameter is preserved for
-interface fidelity and for chunked progress reporting.
+simulation universe (clock + network + deployed origin), and
+``workers`` shards those universes across real processes
+(:mod:`repro.scope.parallel`): because a site's report is a pure
+function of ``(seed + site_index)``, the merged results are
+byte-identical for any worker count — the determinism contract
+``tests/scope/test_parallel.py`` enforces.
 """
 
 from __future__ import annotations
@@ -87,6 +89,51 @@ class ScanProgress:
         if self.done <= 0:
             return 0.0
         return self.virtual_seconds / self.done * self.remaining
+
+
+class ProgressAggregator:
+    """Order-independent progress accounting for sharded scans.
+
+    Parallel workers complete sites in whatever order the scheduler
+    produces, so ticks must be derived from *counters over completion
+    events*, never from the index of the most recent result (the old
+    serial assumption).  Feeding the same set of reports in any order
+    yields the same final :class:`ScanProgress`, and every intermediate
+    tick carries correct done/error/quarantine counts and a
+    virtual-time ETA extrapolated from the per-site mean.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        done: int = 0,
+        errors: int = 0,
+        quarantined: int = 0,
+        virtual_seconds: float = 0.0,
+    ):
+        self.total = total
+        self.done = done
+        self.errors = errors
+        self.quarantined = quarantined
+        self.virtual_seconds = virtual_seconds
+
+    def record(self, report: SiteReport, quarantined: bool = False) -> None:
+        """Fold one completed site in; callable in any completion order."""
+        self.done += 1
+        if report.failed:
+            self.errors += 1
+        if quarantined:
+            self.quarantined += 1
+        self.virtual_seconds += report.scan_virtual_time
+
+    def snapshot(self) -> ScanProgress:
+        return ScanProgress(
+            done=self.done,
+            total=self.total,
+            errors=self.errors,
+            quarantined=self.quarantined,
+            virtual_seconds=self.virtual_seconds,
+        )
 
 
 def scan_site(
@@ -213,58 +260,46 @@ def scan_population(
     sites: list[Site],
     include: Iterable[str] | None = None,
     seed: int = 0,
-    workers: int = 8,
+    workers: int = 1,
     progress: Callable[[ScanProgress], None] | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
 ) -> list[SiteReport]:
-    """Scan every site; ``workers`` sizes the progress-report chunks.
+    """Scan every site; ``workers`` > 1 shards across processes.
 
-    Sites are independent simulations, so ordering cannot affect
-    results; reports come back in input order.  Per-site isolation is
-    total: any exception a site's setup or scan raises becomes an
-    error-bearing :class:`SiteReport` instead of aborting the scan.
-    ``progress`` receives :class:`ScanProgress` ticks carrying error
-    counts and a virtual-time ETA alongside ``(done, total)``.
+    Sites are independent simulations seeded by ``(seed + index)``, so
+    neither ordering nor sharding can affect results: reports come back
+    in input order and are byte-identical for any worker count.
+    Per-site isolation is total: any exception a site's setup or scan
+    raises becomes an error-bearing :class:`SiteReport` instead of
+    aborting the scan.  ``progress`` receives one order-independent
+    :class:`ScanProgress` tick per completed site (in completion order,
+    which under sharding is not input order) carrying error counts and
+    a virtual-time ETA alongside ``(done, total)``.
     """
     _validate_include(include)  # a caller bug, not a per-site failure
-    reports: list[SiteReport] = []
-    errors = 0
-    virtual_seconds = 0.0
+    from repro.scope.parallel import ParallelCampaignRunner, SiteTask
 
-    def emit(done: int) -> None:
+    runner = ParallelCampaignRunner(
+        sites,
+        workers=workers,
+        include=include,
+        seed=seed,
+        fault_plan=fault_plan,
+        resilience=resilience,
+    )
+    tasks = [
+        SiteTask(position=index, site_index=index, domain=site.domain)
+        for index, site in enumerate(sites)
+    ]
+    reports: list[SiteReport | None] = [None] * len(sites)
+    tracker = ProgressAggregator(total=len(sites))
+    for result in runner.iter_unordered(tasks):
+        reports[result.task.site_index] = result.report
+        tracker.record(result.report)
         if progress is not None:
-            progress(
-                ScanProgress(
-                    done=done,
-                    total=len(sites),
-                    errors=errors,
-                    virtual_seconds=virtual_seconds,
-                )
-            )
-
-    for index, site in enumerate(sites):
-        try:
-            reports.append(
-                scan_site(
-                    site,
-                    include=include,
-                    seed=seed + index,
-                    fault_plan=fault_plan,
-                    resilience=resilience,
-                )
-            )
-        except Exception as exc:  # noqa: BLE001 - one site, one report
-            broken = SiteReport(domain=site.domain)
-            broken.errors.append(make_scan_error("scan", exc))
-            reports.append(broken)
-        if reports[-1].failed:
-            errors += 1
-        virtual_seconds += reports[-1].scan_virtual_time
-        if (index + 1) % max(1, workers) == 0:
-            emit(index + 1)
-    emit(len(sites))
-    return reports
+            progress(tracker.snapshot())
+    return reports  # type: ignore[return-value] - every slot is filled
 
 
 def run_campaign(
@@ -278,6 +313,7 @@ def run_campaign(
     resume: bool = False,
     checkpoint_every: int = 25,
     max_site_attempts: int = 3,
+    workers: int = 1,
     progress: Callable[[ScanProgress], None] | None = None,
 ) -> CampaignResult:
     """Journaled, crash-safe population scan.
@@ -290,6 +326,13 @@ def run_campaign(
     ones with their original ``(seed + site_index)`` universe, making
     the merged reports byte-identical to an uninterrupted run.
 
+    ``workers`` > 1 shards the pending sites across that many scan
+    processes (:mod:`repro.scope.parallel`); this process stays the
+    sole SQLite writer and journals completions in todo order, so the
+    stored bytes are identical for any worker count, kill point and
+    fault plan — and ``workers`` is deliberately *not* part of the
+    manifest, so a campaign may be resumed with a different count.
+
     Failed sites are retried across resumes until ``max_site_attempts``
     is exhausted, then quarantined (the circuit breaker): their last
     report stays in the store, but no further scan time is spent.
@@ -300,6 +343,7 @@ def run_campaign(
     with a configuration the journal contradicts.
     """
     include_set = _validate_include(include)
+    from repro.scope.parallel import ParallelCampaignRunner, SiteTask
     journal = CampaignJournal(store)
     manifest = CampaignManifest.build(
         campaign, sites, include_set, seed, fault_plan, resilience
@@ -331,23 +375,35 @@ def run_campaign(
                 )
             )
 
+    runner = ParallelCampaignRunner(
+        sites,
+        workers=workers,
+        include=include_set,
+        seed=seed,
+        fault_plan=fault_plan,
+        resilience=resilience,
+        max_worker_crashes=max_site_attempts,
+    )
+    tasks = [
+        SiteTask(
+            position=position,
+            site_index=site_index,
+            domain=domain,
+            prior_attempts=prior_attempts,
+        )
+        for position, (site_index, domain, prior_attempts) in enumerate(todo)
+    ]
+
     batch: list[JournalEntry] = []
     scanned = 0
+    # iter_ordered releases completions in todo order, so the batches —
+    # and therefore the journal's write sequence — are byte-identical
+    # to a serial run's, whatever the workers are doing.
+    results = runner.iter_ordered(tasks)
     try:
-        for site_index, domain, prior_attempts in todo:
-            site = sites[site_index]
-            try:
-                report = scan_site(
-                    site,
-                    include=include_set,
-                    seed=seed + site_index,
-                    fault_plan=fault_plan,
-                    resilience=resilience,
-                )
-            except Exception as exc:  # noqa: BLE001 - one site, one report
-                report = SiteReport(domain=site.domain)
-                report.errors.append(make_scan_error("scan", exc))
-            attempts = prior_attempts + 1
+        for result in results:
+            report = result.report
+            attempts = result.task.prior_attempts + 1
             if not report.failed:
                 status = SiteStatus.DONE
             elif attempts >= max_site_attempts:
@@ -356,8 +412,8 @@ def run_campaign(
                 status = SiteStatus.FAILED
             batch.append(
                 JournalEntry(
-                    site_index=site_index,
-                    domain=domain,
+                    site_index=result.task.site_index,
+                    domain=result.task.domain,
                     status=status,
                     attempts=attempts,
                     report=report,
@@ -366,7 +422,7 @@ def run_campaign(
                 )
             )
             scanned += 1
-            if prior_attempts > 0:  # a retried failure leaves 'failed'
+            if result.task.prior_attempts > 0:  # a retried failure leaves 'failed'
                 counts[SiteStatus.FAILED.value] -= 1
             else:
                 counts[SiteStatus.PENDING.value] -= 1
@@ -381,6 +437,8 @@ def run_campaign(
         raise CampaignInterrupted(
             campaign, flushed=scanned, remaining=len(todo) - scanned
         ) from None
+    finally:
+        results.close()  # tears the worker pool down on any exit path
     journal.checkpoint(campaign, batch)
     return CampaignResult(
         campaign=campaign,

@@ -189,6 +189,112 @@ class TestInterruptionSoak:
             assert serialize_campaign(store) == baseline
 
 
+#: Runs a workers=4 chaos campaign and signals *itself* at a cut point:
+#: SIGINT exercises the orchestrated interrupt path (exit 130), SIGKILL
+#: the no-warning crash path.  Population and kwargs mirror the module
+#: fixtures so the parent can resume and diff against its baseline.
+PARALLEL_KILL_SCRIPT = f"""
+import os, signal, sys
+from repro.population.generator import PopulationConfig, make_population
+from repro.net.faults import FaultPlan
+from repro.scope.resilience import ResilienceConfig
+from repro.scope.campaign import CampaignInterrupted
+from repro.scope.scanner import run_campaign
+from repro.scope.storage import ReportStore
+
+db, cut, sig = sys.argv[1], int(sys.argv[2]), getattr(signal, sys.argv[3])
+sites = make_population(PopulationConfig(n_sites=40, seed=11))
+
+def kill(progress):
+    if progress.done >= cut:
+        os.kill(os.getpid(), sig)
+
+with ReportStore(db) as store:
+    try:
+        run_campaign(
+            sites, store, "camp", checkpoint_every=7, workers=4,
+            progress=kill, include={{"negotiation", "settings", "ping"}},
+            seed=3, fault_plan=FaultPlan.parse({CHAOS_SPEC!r}, seed=5),
+            resilience=ResilienceConfig(timeout=10.0, retries=1),
+        )
+    except CampaignInterrupted:
+        sys.exit(130)
+sys.exit(3)  # neither signal fired: the test harness is broken
+"""
+
+
+class TestParallelKillResume:
+    """ISSUE 3: sharded campaigns killed mid-flight must resume into
+    byte-identical state, with the same or a different worker count."""
+
+    @pytest.mark.parametrize(("cut", "resume_workers"), [(6, 4), (23, 1)])
+    def test_interrupted_parallel_scan_resumes_byte_identical(
+        self, cut, resume_workers, chaos_sites, uninterrupted_baseline, tmp_path
+    ):
+        path = tmp_path / f"par{cut}.db"
+        with ReportStore(path) as store:
+            with pytest.raises(CampaignInterrupted):
+                run_campaign(
+                    chaos_sites, store, "camp", checkpoint_every=7,
+                    workers=4, progress=KillAt(cut), **chaos_kwargs(),
+                )
+        with ReportStore(path) as store:
+            assert store.count("camp") >= cut  # the interrupt flushed
+            run_campaign(
+                chaos_sites, store, "camp", resume=True, checkpoint_every=7,
+                workers=resume_workers, **chaos_kwargs(),
+            )
+            assert serialize_campaign(store) == uninterrupted_baseline
+
+    @pytest.mark.parametrize(
+        ("signame", "expected_rc", "cut", "resume_workers"),
+        [
+            ("SIGINT", 130, 9, 2),
+            ("SIGINT", 130, 26, 4),
+            ("SIGKILL", -9, 9, 4),
+            ("SIGKILL", -9, 26, 1),
+        ],
+    )
+    def test_signal_killed_parallel_scan_resumes_byte_identical(
+        self,
+        signame,
+        expected_rc,
+        cut,
+        resume_workers,
+        chaos_sites,
+        uninterrupted_baseline,
+        tmp_path,
+    ):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        db = tmp_path / f"{signame}{cut}.db"
+        proc = subprocess.run(
+            [sys.executable, "-c", PARALLEL_KILL_SCRIPT, str(db), str(cut),
+             signame],
+            env={"PYTHONPATH": src},
+            timeout=120,
+        )
+        assert proc.returncode == expected_rc
+        with ReportStore(db) as store:
+            flushed = store.count("camp")
+            # SIGINT flushes everything scanned; SIGKILL loses at most
+            # the unflushed tail of one checkpoint batch — never a
+            # torn or phantom row (WAL atomicity).
+            assert 0 < flushed <= len(chaos_sites)
+            if signame == "SIGINT":
+                assert flushed >= cut
+            run_campaign(
+                chaos_sites, store, "camp", resume=True, checkpoint_every=7,
+                workers=resume_workers, **chaos_kwargs(),
+            )
+            assert serialize_campaign(store) == uninterrupted_baseline
+
+
 class TestCrossProcessDeterminism:
     def test_reports_identical_across_hash_seeds(self, tmp_path):
         """Resume happens in a NEW process; universes must not depend on

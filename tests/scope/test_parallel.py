@@ -1,0 +1,269 @@
+"""Sharded scanning: the determinism contract and crash recovery.
+
+The contract this file enforces: for any worker count, a sharded
+campaign writes *byte-identical* state to a serial one — not just the
+same report documents, but the same raw ``reports`` and
+``campaign_sites`` rows (including autoincrement ids), because the
+single-writer parent journals completions in todo order through the
+same checkpoint batches a serial run would produce.
+"""
+
+import json
+import multiprocessing
+import os
+import sqlite3
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.population.generator import PopulationConfig, make_population
+from repro.scope.parallel import ParallelCampaignRunner, SiteTask
+from repro.scope.report import SiteReport
+from repro.scope.resilience import ResilienceConfig, make_scan_error
+from repro.scope.scanner import (
+    ProgressAggregator,
+    run_campaign,
+    scan_population,
+)
+from repro.scope.storage import ReportStore, _encode
+
+CHAOS_SPEC = (
+    "refuse:0.1x6,reset:0.06x4,stall(30):0.05,blackhole:0.04,"
+    "truncate(400):0.05,garbage(96):0.05"
+)
+PROBES = {"negotiation", "settings", "ping"}
+RESILIENCE = ResilienceConfig(timeout=10.0, retries=1)
+
+requires_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method(allow_none=False) != "fork",
+    reason="crash injection monkeypatches the parent; workers must fork",
+)
+
+
+def population(n_sites):
+    return make_population(PopulationConfig(n_sites=n_sites, seed=11))
+
+
+def chaos_kwargs():
+    return dict(
+        include=PROBES,
+        seed=3,
+        fault_plan=FaultPlan.parse(CHAOS_SPEC, seed=5),
+        resilience=RESILIENCE,
+    )
+
+
+def serialize_reports(reports):
+    return [json.dumps(_encode(report), sort_keys=True) for report in reports]
+
+
+def raw_rows(path):
+    """Every byte SQLite stores for the campaign, in physical order."""
+    db = sqlite3.connect(path)
+    try:
+        return (
+            db.execute("SELECT * FROM reports ORDER BY id").fetchall(),
+            db.execute(
+                "SELECT * FROM campaign_sites ORDER BY site_index"
+            ).fetchall(),
+        )
+    finally:
+        db.close()
+
+
+def tasks_for(sites):
+    return [
+        SiteTask(position=index, site_index=index, domain=site.domain)
+        for index, site in enumerate(sites)
+    ]
+
+
+@pytest.fixture(scope="module")
+def chaos_sites():
+    # The ISSUE's differential population: 300 requested sites (the
+    # generator adds its unresponsive tail on top).
+    return population(300)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(chaos_sites, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serial") / "serial.db"
+    with ReportStore(path) as store:
+        run_campaign(
+            chaos_sites, store, "camp", checkpoint_every=16, **chaos_kwargs()
+        )
+        documents = serialize_reports(store.load_campaign("camp"))
+    return documents, raw_rows(path)
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_campaign_byte_identical_to_serial(
+        self, workers, chaos_sites, serial_baseline, tmp_path
+    ):
+        path = tmp_path / f"w{workers}.db"
+        with ReportStore(path) as store:
+            run_campaign(
+                chaos_sites,
+                store,
+                "camp",
+                checkpoint_every=16,
+                workers=workers,
+                **chaos_kwargs(),
+            )
+            documents = serialize_reports(store.load_campaign("camp"))
+        serial_documents, serial_rows = serial_baseline
+        assert documents == serial_documents
+        # Stronger than report equality: identical physical rows,
+        # autoincrement ids included — the write *order* matched too.
+        assert raw_rows(path) == serial_rows
+
+    def test_scan_population_identical_across_worker_counts(self, chaos_sites):
+        sites = chaos_sites[:60]
+        serial = scan_population(sites, **chaos_kwargs())
+        sharded = scan_population(sites, workers=4, **chaos_kwargs())
+        assert serialize_reports(sharded) == serialize_reports(serial)
+
+    def test_iter_ordered_releases_positions_in_order(self):
+        sites = population(24)
+        runner = ParallelCampaignRunner(
+            sites, workers=4, include={"negotiation"}, seed=3
+        )
+        results = list(runner.iter_ordered(tasks_for(sites)))
+        assert [r.task.position for r in results] == list(range(len(sites)))
+        assert [r.task.domain for r in results] == [s.domain for s in sites]
+
+
+@requires_fork
+class TestWorkerCrashRecovery:
+    def test_crashed_worker_respawned_site_retried(self, tmp_path, monkeypatch):
+        import repro.scope.parallel as parallel_module
+
+        sites = population(12)
+        baseline = serialize_reports(
+            scan_population(sites, include={"negotiation"}, seed=3)
+        )
+        victim = sites[3].domain
+        marker = tmp_path / "crashed-once"
+        real_scan_one = parallel_module._scan_one
+
+        def crash_once(site, task, options):
+            if site.domain == victim and not marker.exists():
+                marker.write_text("x")
+                os._exit(13)  # hard death: no exception, no result
+            return real_scan_one(site, task, options)
+
+        # Workers fork after the patch, so they inherit the sabotage.
+        monkeypatch.setattr(parallel_module, "_scan_one", crash_once)
+        runner = ParallelCampaignRunner(
+            sites, workers=3, include={"negotiation"}, seed=3
+        )
+        results = list(runner.iter_unordered(tasks_for(sites)))
+        assert marker.exists()  # the crash really happened
+        assert len(results) == len(sites)
+        by_domain = {r.task.domain: r for r in results}
+        assert by_domain[victim].worker_crashes == 1
+        ordered = [by_domain[s.domain].report for s in sites]
+        # The retried site's universe is deterministic: byte-identical.
+        assert serialize_reports(ordered) == baseline
+
+    def test_site_that_keeps_killing_workers_gets_crash_report(
+        self, monkeypatch
+    ):
+        import repro.scope.parallel as parallel_module
+
+        sites = population(8)
+        victim = sites[2].domain
+        real_scan_one = parallel_module._scan_one
+
+        def always_crash(site, task, options):
+            if site.domain == victim:
+                os._exit(13)
+            return real_scan_one(site, task, options)
+
+        monkeypatch.setattr(parallel_module, "_scan_one", always_crash)
+        runner = ParallelCampaignRunner(
+            sites,
+            workers=2,
+            include={"negotiation"},
+            seed=3,
+            max_worker_crashes=2,
+        )
+        results = list(runner.iter_unordered(tasks_for(sites)))
+        assert len(results) == len(sites)  # the scan still completes
+        by_domain = {r.task.domain: r for r in results}
+        poisoned = by_domain[victim]
+        assert poisoned.worker_crashes == 2
+        assert poisoned.report.failed
+        error = poisoned.report.errors[0]
+        assert error.probe == "worker"
+        assert error.exception == "WorkerCrashed"
+        assert error.attempts == 2
+        # Every other site is untouched by its neighbor's crashes.
+        assert not any(
+            r.report.failed for d, r in by_domain.items() if d != victim
+        )
+
+
+class TestProgressAggregator:
+    def make_reports(self):
+        reports = []
+        for index in range(6):
+            report = SiteReport(domain=f"s{index}.test")
+            report.scan_virtual_time = float(index + 1)
+            if index % 3 == 0:
+                report.errors.append(
+                    make_scan_error("settings", RuntimeError("boom"))
+                )
+            reports.append(report)
+        return reports
+
+    def feed(self, reports, quarantined=()):
+        tracker = ProgressAggregator(total=len(reports))
+        for report in reports:
+            tracker.record(report, quarantined=report.domain in quarantined)
+        return tracker.snapshot()
+
+    def test_final_tick_is_order_independent(self):
+        reports = self.make_reports()
+        forward = self.feed(reports)
+        backward = self.feed(list(reversed(reports)))
+        rotated = self.feed(reports[3:] + reports[:3])
+        assert forward == backward == rotated
+        assert forward.done == forward.total == 6
+        assert forward.errors == 2
+        assert forward.virtual_seconds == 21.0
+        assert forward.eta_virtual_seconds == 0.0
+
+    def test_intermediate_ticks_extrapolate_eta_from_mean(self):
+        reports = self.make_reports()
+        tracker = ProgressAggregator(total=len(reports))
+        for report in reversed(reports):  # worst case: reverse order
+            tracker.record(report)
+        tick = tracker.snapshot()
+        assert tick.done == 6 and tick.remaining == 0
+        half = ProgressAggregator(total=6)
+        for report in reports[:3]:
+            half.record(report)
+        tick = half.snapshot()
+        assert tick.remaining == 3
+        assert tick.eta_virtual_seconds == pytest.approx(
+            tick.virtual_seconds / 3 * 3
+        )
+
+    def test_quarantine_counted_wherever_it_lands(self):
+        reports = self.make_reports()
+        a = self.feed(reports, quarantined={"s0.test"})
+        b = self.feed(list(reversed(reports)), quarantined={"s0.test"})
+        assert a.quarantined == b.quarantined == 1
+
+    def test_resume_seeds_prior_counts(self):
+        tracker = ProgressAggregator(
+            total=10, done=4, errors=1, quarantined=1, virtual_seconds=8.0
+        )
+        report = SiteReport(domain="next.test")
+        report.scan_virtual_time = 2.0
+        tracker.record(report)
+        tick = tracker.snapshot()
+        assert (tick.done, tick.errors, tick.quarantined) == (5, 1, 1)
+        assert tick.virtual_seconds == 10.0
