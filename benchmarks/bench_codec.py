@@ -1,0 +1,199 @@
+"""Paired codec benchmark: hot implementations vs retained references.
+
+Because the pre-optimization implementations are kept verbatim as
+reference codecs (``huffman_ref``, ``frames_ref``), the pre-PR baseline
+and the optimized candidate can always be measured *on the same runner
+in the same process* — the paired design the CI perf-regression job
+needs, immune to machine-to-machine noise.
+
+Emits ``benchmarks/results/BENCH_codec.json`` and enforces the ISSUE 4
+acceptance floors: ≥3x Huffman decode throughput and ≥1.5x frame
+serialize+parse round-trip throughput over the reference codecs.
+"""
+
+import json
+import random
+import time
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.h2 import frames, frames_ref
+from repro.h2.hpack import huffman, huffman_ref
+
+#: Acceptance floors (hot throughput / reference throughput).
+MIN_HUFFMAN_DECODE_SPEEDUP = 3.0
+MIN_FRAME_ROUNDTRIP_SPEEDUP = 1.5
+
+_REPEATS = 5
+
+#: Header-ish strings: the mix Huffman sees during a scan (short
+#: tokens, dates, UA-style strings, some binary-ish cookie values).
+_STRING_POOL = [
+    b"text/html; charset=utf-8",
+    b"Mon, 04 Jul 2016 12:00:00 GMT",
+    b"nginx/1.9.15",
+    b"max-age=3600, must-revalidate",
+    b"www.example.com",
+    b"gzip, deflate, br",
+    b"/static/js/app.bundle.min.js?v=20160704",
+    b"SAMEORIGIN",
+    b"__cf_bm=aGVsbG8gd29ybGQhIQ; path=/; HttpOnly",
+    b"48231",
+]
+
+
+def _string_corpus(n=400):
+    rng = random.Random(BENCH_SEED)
+    corpus = []
+    for _ in range(n):
+        base = rng.choice(_STRING_POOL)
+        if rng.random() < 0.3:
+            base = base + bytes(rng.randrange(0x20, 0x7F) for _ in range(12))
+        corpus.append(base)
+    return corpus
+
+
+def _frame_corpus(n=300):
+    rng = random.Random(BENCH_SEED + 1)
+    corpus = []
+    for _ in range(n):
+        kind = rng.randrange(5)
+        if kind == 0:
+            corpus.append(
+                frames.DataFrame(
+                    stream_id=rng.randrange(1, 99, 2),
+                    data=rng.randbytes(rng.choice([64, 512, 1460, 8192])),
+                )
+            )
+        elif kind == 1:
+            corpus.append(
+                frames.HeadersFrame(
+                    stream_id=rng.randrange(1, 99, 2),
+                    header_block=rng.randbytes(rng.randrange(20, 200)),
+                )
+            )
+        elif kind == 2:
+            corpus.append(
+                frames.SettingsFrame(
+                    settings=[(i + 1, rng.randrange(0, 2**16)) for i in range(6)]
+                )
+            )
+        elif kind == 3:
+            corpus.append(frames.PingFrame(payload=rng.randbytes(8)))
+        else:
+            corpus.append(
+                frames.WindowUpdateFrame(
+                    stream_id=rng.randrange(0, 99),
+                    window_increment=rng.randrange(1, 2**20),
+                )
+            )
+    return corpus
+
+
+def _best_seconds(fn, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _row(name, payload_bytes, ref_seconds, hot_seconds):
+    ref_mb = payload_bytes / ref_seconds / 1e6
+    hot_mb = payload_bytes / hot_seconds / 1e6
+    return {
+        "name": name,
+        "payload_bytes": payload_bytes,
+        "reference_mb_per_sec": round(ref_mb, 2),
+        "hot_mb_per_sec": round(hot_mb, 2),
+        "speedup": round(hot_mb / ref_mb, 2),
+    }
+
+
+def bench_codec_differential_throughput(benchmark):
+    strings = _string_corpus()
+    encoded = [huffman_ref.encode(s) for s in strings]
+    frame_list = _frame_corpus()
+    ref_frames = [
+        frames_ref.parse_frames(frames.serialize_frame(f))[0][0] for f in frame_list
+    ]
+    wire = b"".join(frames.serialize_frame(f) for f in frame_list)
+
+    def huffman_decode_hot():
+        decode = huffman.decode
+        for data in encoded:
+            decode(data)
+
+    def huffman_decode_ref():
+        decode = huffman_ref.decode
+        for data in encoded:
+            decode(data)
+
+    def huffman_encode_hot():
+        encode = huffman.encode
+        for data in strings:
+            encode(data)
+
+    def huffman_encode_ref():
+        encode = huffman_ref.encode
+        for data in strings:
+            encode(data)
+
+    def frame_roundtrip_hot():
+        out = bytearray()
+        serialize_into = frames.serialize_frame_into
+        for frame in frame_list:
+            serialize_into(frame, out)
+        parsed, consumed = frames.parse_frames_view(memoryview(out))
+        assert consumed == len(wire) and len(parsed) == len(frame_list)
+
+    def frame_roundtrip_ref():
+        out = b"".join(frames_ref.serialize_frame(f) for f in ref_frames)
+        parsed, remainder = frames_ref.parse_frames(out)
+        assert remainder == b"" and len(parsed) == len(frame_list)
+
+    rows = [
+        _row(
+            "huffman_decode",
+            sum(len(d) for d in encoded),
+            _best_seconds(huffman_decode_ref),
+            _best_seconds(huffman_decode_hot),
+        ),
+        _row(
+            "huffman_encode",
+            sum(len(s) for s in strings),
+            _best_seconds(huffman_encode_ref),
+            _best_seconds(huffman_encode_hot),
+        ),
+        _row(
+            "frame_roundtrip",
+            len(wire),
+            _best_seconds(frame_roundtrip_ref),
+            _best_seconds(frame_roundtrip_hot),
+        ),
+    ]
+
+    report = {
+        "seed": BENCH_SEED,
+        "repeats": _REPEATS,
+        "thresholds": {
+            "huffman_decode": MIN_HUFFMAN_DECODE_SPEEDUP,
+            "frame_roundtrip": MIN_FRAME_ROUNDTRIP_SPEEDUP,
+        },
+        "results": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_codec.json").write_text(json.dumps(report, indent=1) + "\n")
+    print()
+    for row in rows:
+        print(
+            f"{row['name']:<16} ref {row['reference_mb_per_sec']:>8.2f} MB/s   "
+            f"hot {row['hot_mb_per_sec']:>8.2f} MB/s   x{row['speedup']}"
+        )
+
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["huffman_decode"]["speedup"] >= MIN_HUFFMAN_DECODE_SPEEDUP
+    assert by_name["frame_roundtrip"]["speedup"] >= MIN_FRAME_ROUNDTRIP_SPEEDUP
+
+    # Give pytest-benchmark one representative timing series too.
+    benchmark.pedantic(frame_roundtrip_hot, rounds=3, iterations=1)

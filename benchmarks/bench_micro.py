@@ -7,7 +7,14 @@ regressions in the hot paths.
 
 import random
 
-from repro.h2.frames import DataFrame, HeadersFrame, parse_frames, serialize_frame
+from repro.h2.frames import (
+    DataFrame,
+    HeadersFrame,
+    parse_frames,
+    parse_frames_view,
+    serialize_frame,
+    serialize_frame_into,
+)
 from repro.h2.hpack import huffman
 from repro.h2.hpack.decoder import Decoder
 from repro.h2.hpack.encoder import Encoder
@@ -60,6 +67,39 @@ def bench_frame_parse(benchmark):
         serialize_frame(DataFrame(stream_id=1, data=b"x" * 1_024)) for _ in range(16)
     )
     benchmark(parse_frames, wire)
+
+
+def bench_frame_serialize_into_reused_buffer(benchmark):
+    """The connection hot path: many frames into one outbound buffer."""
+    frames = [
+        HeadersFrame(stream_id=i, header_block=b"h" * 64) for i in range(1, 17, 2)
+    ] + [DataFrame(stream_id=i, data=b"x" * 1_024) for i in range(1, 17, 2)]
+
+    def serialize_all():
+        out = bytearray()
+        for frame in frames:
+            serialize_frame_into(frame, out)
+        return out
+
+    benchmark(serialize_all)
+
+
+def bench_frame_parse_view(benchmark):
+    """Zero-copy parse: one memoryview walk, no tail copy."""
+    wire = b"".join(
+        serialize_frame(DataFrame(stream_id=1, data=b"x" * 1_024)) for _ in range(16)
+    )
+    view = memoryview(wire)
+    benchmark(parse_frames_view, view)
+
+
+def bench_hpack_encode_string_cache(benchmark):
+    """Fresh encoders re-encoding the same header strings (scan shape)."""
+
+    def encode_with_fresh_context():
+        return Encoder().encode(HEADERS)
+
+    benchmark(encode_with_fresh_context)
 
 
 def bench_priority_tree_operations(benchmark):

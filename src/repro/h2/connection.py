@@ -56,8 +56,8 @@ from repro.h2.frames import (
     SettingsFrame,
     UnknownFrame,
     WindowUpdateFrame,
-    parse_frames,
-    serialize_frame,
+    parse_frames_view,
+    serialize_frame_into,
 )
 from repro.h2.hpack.decoder import Decoder
 from repro.h2.hpack.encoder import Encoder, IndexingPolicy
@@ -270,7 +270,7 @@ class H2Connection:
         fc_len = frame.flow_controlled_length
         if self.config.strict:
             max_frame = self.remote_settings.max_frame_size
-            if len(frame.serialize_payload()) > max_frame:
+            if fc_len > max_frame:
                 raise ProtocolError(
                     f"DATA payload exceeds peer SETTINGS_MAX_FRAME_SIZE {max_frame}"
                 )
@@ -398,9 +398,11 @@ class H2Connection:
             self._preface_pending = False
             out.append(ev.PrefaceReceived())
 
-        frames, self._inbound = parse_frames(
-            self._inbound, max_frame_size=self.local_settings.max_frame_size
+        buffer = self._inbound
+        frames, consumed = parse_frames_view(
+            memoryview(buffer), max_frame_size=self.local_settings.max_frame_size
         )
+        self._inbound = buffer[consumed:] if consumed else buffer
         for frame in frames:
             self.frame_log.append(frame)
             out.extend(self._dispatch(frame))
@@ -803,7 +805,7 @@ class H2Connection:
 
     def _send_frame(self, frame: Frame) -> None:
         self.sent_frame_log.append(frame)
-        self._outbound.extend(serialize_frame(frame))
+        serialize_frame_into(frame, self._outbound)
 
     def _send_header_block(
         self,

@@ -1,8 +1,28 @@
-"""HTTP/2 frame codec (RFC 7540 §4, §6).
+"""HTTP/2 frame codec (RFC 7540 §4, §6) — zero-copy hot path.
 
-Every frame type is a small dataclass with a ``serialize_payload``
-method and a ``parse_payload`` classmethod; :func:`serialize_frame`
-and :func:`parse_frames` handle the common 9-octet frame header.
+Every frame type is a small dataclass with a ``write_payload`` method
+(append the payload to a caller-supplied ``bytearray``) and a
+``parse_payload`` classmethod; :func:`serialize_frame_into` and
+:func:`parse_frames_view` handle the common 9-octet frame header.
+``serialize_payload``/:func:`serialize_frame`/:func:`parse_frames` are
+thin compatibility wrappers that materialize ``bytes``.
+
+Hot-path rules (enforced by ``tests/h2/test_hotpath_guard.py`` and the
+CI grep check):
+
+* **Parsing** walks a single ``memoryview`` over the receive buffer —
+  header fields come from one ``struct.unpack_from``, payload slices
+  stay views until the moment a frame *field* is materialized, so one
+  frame costs exactly one copy (its payload fields), never
+  header/padding/intermediate copies.
+* **Serialization** appends straight into a reused output buffer (the
+  connection's outbound ``bytearray``): a 9-octet placeholder is
+  reserved, the payload is written through ``write_payload``, and the
+  header is back-patched with ``struct.pack_into`` once the length is
+  known.  No intermediate payload ``bytes`` object exists.
+
+The original copy-based codec is preserved in
+:mod:`repro.h2.frames_ref`; differential tests pin this module to it.
 
 The codec is deliberately *symmetric and permissive at the edges*: it
 can serialize frames that violate protocol rules (zero-increment
@@ -16,6 +36,7 @@ layer, as RFC 7540 requires.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.h2.constants import (
@@ -27,15 +48,24 @@ from repro.h2.constants import (
 )
 from repro.h2.errors import FrameSizeError, ProtocolError
 
+#: The 9-octet frame header: 3-octet length (split 16+8 for struct),
+#: type, flags, 4-octet stream id (R bit masked on read).
+_HEADER = struct.Struct(">HBBBI")
+_HEADER_PLACEHOLDER = bytes(FRAME_HEADER_LENGTH)
+_SETTING = struct.Struct(">HI")
 
-def _pack_header(length: int, frame_type: int, flags: int, stream_id: int) -> bytes:
-    if length >= 2**24:
-        raise FrameSizeError(f"frame payload too large: {length}")
-    return (
-        length.to_bytes(3, "big")
-        + bytes([frame_type, flags])
-        + (stream_id & MAX_STREAM_ID).to_bytes(4, "big")
-    )
+#: ``FrameFlag`` construction is an enum metaclass call — far too slow
+#: for once-per-frame; all 256 possible flag octets are interned here.
+_FLAG_CACHE = tuple(FrameFlag(value) for value in range(256))
+
+#: Plain-int flag masks: even ``flags & FrameFlag.PADDED`` goes through
+#: Python-level enum ``__and__``/``__call__`` machinery (~17% of frame
+#: round-trip time when profiled), while ``int(flags) & _PADDED_BIT``
+#: stays on C-level int ops.  Hot tests use these; cold code keeps the
+#: readable enum form.
+_PADDED_BIT = int(FrameFlag.PADDED)
+_PRIORITY_BIT = int(FrameFlag.PRIORITY)
+_ACK_BIT = int(FrameFlag.ACK)
 
 
 @dataclass(frozen=True)
@@ -55,7 +85,7 @@ class PriorityData:
         return dep.to_bytes(4, "big") + bytes([self.weight - 1])
 
     @classmethod
-    def parse(cls, data: bytes) -> "PriorityData":
+    def parse(cls, data) -> "PriorityData":
         if len(data) != 5:
             raise FrameSizeError("priority block must be 5 octets")
         raw_dep = int.from_bytes(data[:4], "big")
@@ -68,40 +98,52 @@ class PriorityData:
 
 @dataclass
 class Frame:
-    """Base frame: subclasses set ``frame_type`` and payload fields."""
+    """Base frame: subclasses set ``frame_type`` and payload fields.
+
+    ``write_payload`` is the canonical serialization hook; the
+    ``serialize_payload`` wrapper exists for callers that want a
+    standalone ``bytes`` payload.
+    """
 
     stream_id: int = 0
     flags: FrameFlag = FrameFlag.NONE
     frame_type: FrameType = field(init=False, default=None)  # type: ignore[assignment]
 
-    def serialize_payload(self) -> bytes:
+    def write_payload(self, out: bytearray) -> None:
+        """Append this frame's payload octets to ``out``."""
         raise NotImplementedError
 
+    def serialize_payload(self) -> bytes:
+        out = bytearray()
+        self.write_payload(out)
+        return bytes(out)
+
     @classmethod
-    def parse_payload(cls, payload: bytes, flags: FrameFlag, stream_id: int) -> "Frame":
+    def parse_payload(cls, payload, flags: FrameFlag, stream_id: int) -> "Frame":
         raise NotImplementedError
 
     def has_flag(self, flag: FrameFlag) -> bool:
         return bool(self.flags & flag)
 
 
-def _strip_padding(payload: bytes, flags: FrameFlag, what: str) -> bytes:
-    """Remove the Pad Length octet and trailing padding if PADDED is set."""
-    if not flags & FrameFlag.PADDED:
-        return payload
-    if not payload:
+def _strip_padding(payload, what: str):
+    """Drop the Pad Length octet and trailing padding (PADDED is set).
+
+    ``payload`` is a memoryview (or bytes); the result is a slice of
+    it, not a copy.
+    """
+    if not len(payload):
         raise FrameSizeError(f"padded {what} frame without pad length octet")
     pad_length = payload[0]
-    body = payload[1:]
-    if pad_length > len(body):
+    body_length = len(payload) - 1
+    if pad_length > body_length:
         raise ProtocolError(f"padding longer than remaining {what} payload")
-    return body[: len(body) - pad_length]
+    return payload[1 : 1 + body_length - pad_length]
 
 
-def _apply_padding(body: bytes, pad_length: int) -> bytes:
+def _check_pad_length(pad_length: int) -> None:
     if pad_length < 0 or pad_length > 255:
         raise ProtocolError(f"pad length {pad_length} out of range [0, 255]")
-    return bytes([pad_length]) + body + b"\x00" * pad_length
 
 
 @dataclass
@@ -113,7 +155,7 @@ class DataFrame(Frame):
 
     def __post_init__(self) -> None:
         self.frame_type = FrameType.DATA
-        if self.pad_length is not None:
+        if self.pad_length is not None and not int(self.flags) & _PADDED_BIT:
             self.flags |= FrameFlag.PADDED
 
     @property
@@ -123,18 +165,27 @@ class DataFrame(Frame):
             return len(self.data)
         return len(self.data) + self.pad_length + 1
 
-    def serialize_payload(self) -> bytes:
-        if self.pad_length is not None:
-            return _apply_padding(self.data, self.pad_length)
-        return self.data
+    def write_payload(self, out: bytearray) -> None:
+        pad = self.pad_length
+        if pad is None:
+            out += self.data
+            return
+        _check_pad_length(pad)
+        out.append(pad)
+        out += self.data
+        if pad:
+            out += b"\x00" * pad
 
     @classmethod
-    def parse_payload(cls, payload: bytes, flags: FrameFlag, stream_id: int) -> "DataFrame":
-        raw_length = len(payload)
-        data = _strip_padding(payload, flags, "DATA")
-        pad = raw_length - len(data) - 1 if flags & FrameFlag.PADDED else None
-        frame = cls(stream_id=stream_id, flags=flags, data=data, pad_length=pad)
-        return frame
+    def parse_payload(cls, payload, flags: FrameFlag, stream_id: int) -> "DataFrame":
+        if int(flags) & _PADDED_BIT:
+            raw_length = len(payload)
+            data = _strip_padding(payload, "DATA")
+            pad = raw_length - len(data) - 1
+        else:
+            data = payload
+            pad = None
+        return cls(stream_id=stream_id, flags=flags, data=bytes(data), pad_length=pad)
 
 
 @dataclass
@@ -147,29 +198,40 @@ class HeadersFrame(Frame):
 
     def __post_init__(self) -> None:
         self.frame_type = FrameType.HEADERS
-        if self.priority is not None:
+        bits = int(self.flags)
+        if self.priority is not None and not bits & _PRIORITY_BIT:
             self.flags |= FrameFlag.PRIORITY
-        if self.pad_length is not None:
+        if self.pad_length is not None and not bits & _PADDED_BIT:
             self.flags |= FrameFlag.PADDED
 
-    def serialize_payload(self) -> bytes:
-        body = bytearray()
-        if self.priority is not None:
-            body.extend(self.priority.serialize())
-        body.extend(self.header_block)
-        if self.pad_length is not None:
-            return _apply_padding(bytes(body), self.pad_length)
-        return bytes(body)
+    def write_payload(self, out: bytearray) -> None:
+        priority = b"" if self.priority is None else self.priority.serialize()
+        pad = self.pad_length
+        if pad is None:
+            out += priority
+            out += self.header_block
+            return
+        _check_pad_length(pad)
+        out.append(pad)
+        out += priority
+        out += self.header_block
+        if pad:
+            out += b"\x00" * pad
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "HeadersFrame":
-        raw_length = len(payload)
-        body = _strip_padding(payload, flags, "HEADERS")
-        pad = raw_length - len(body) - 1 if flags & FrameFlag.PADDED else None
+        bits = int(flags)
+        if bits & _PADDED_BIT:
+            raw_length = len(payload)
+            body = _strip_padding(payload, "HEADERS")
+            pad = raw_length - len(body) - 1
+        else:
+            body = payload
+            pad = None
         priority = None
-        if flags & FrameFlag.PRIORITY:
+        if bits & _PRIORITY_BIT:
             if len(body) < 5:
                 raise FrameSizeError("HEADERS with PRIORITY flag shorter than 5 octets")
             priority = PriorityData.parse(body[:5])
@@ -177,7 +239,7 @@ class HeadersFrame(Frame):
         return cls(
             stream_id=stream_id,
             flags=flags,
-            header_block=body,
+            header_block=bytes(body),
             priority=priority,
             pad_length=pad,
         )
@@ -192,12 +254,12 @@ class PriorityFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = FrameType.PRIORITY
 
-    def serialize_payload(self) -> bytes:
-        return self.priority.serialize()
+    def write_payload(self, out: bytearray) -> None:
+        out += self.priority.serialize()
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "PriorityFrame":
         if len(payload) != 5:
             raise FrameSizeError("PRIORITY payload must be exactly 5 octets")
@@ -213,12 +275,12 @@ class RstStreamFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = FrameType.RST_STREAM
 
-    def serialize_payload(self) -> bytes:
-        return self.error_code.to_bytes(4, "big")
+    def write_payload(self, out: bytearray) -> None:
+        out += self.error_code.to_bytes(4, "big")
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "RstStreamFrame":
         if len(payload) != 4:
             raise FrameSizeError("RST_STREAM payload must be exactly 4 octets")
@@ -244,26 +306,27 @@ class SettingsFrame(Frame):
     def is_ack(self) -> bool:
         return bool(self.flags & FrameFlag.ACK)
 
-    def serialize_payload(self) -> bytes:
-        out = bytearray()
+    def write_payload(self, out: bytearray) -> None:
+        pack = _SETTING.pack
         for ident, value in self.settings:
-            out.extend(int(ident).to_bytes(2, "big"))
-            out.extend(int(value).to_bytes(4, "big"))
-        return bytes(out)
+            try:
+                out += pack(ident, value)
+            except struct.error:
+                # Out-of-range pair: re-run through to_bytes so the
+                # error class matches the original implementation.
+                out += int(ident).to_bytes(2, "big")
+                out += int(value).to_bytes(4, "big")
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "SettingsFrame":
-        if flags & FrameFlag.ACK and payload:
+        if int(flags) & _ACK_BIT and len(payload):
             raise FrameSizeError("SETTINGS ACK must have an empty payload")
         if len(payload) % 6:
             raise FrameSizeError("SETTINGS payload not a multiple of 6 octets")
-        settings = []
-        for off in range(0, len(payload), 6):
-            ident = int.from_bytes(payload[off : off + 2], "big")
-            value = int.from_bytes(payload[off + 2 : off + 6], "big")
-            settings.append((ident, value))
+        unpack = _SETTING.unpack_from
+        settings = [unpack(payload, off) for off in range(0, len(payload), 6)]
         return cls(stream_id=stream_id, flags=flags, settings=settings)
 
 
@@ -277,23 +340,30 @@ class PushPromiseFrame(Frame):
 
     def __post_init__(self) -> None:
         self.frame_type = FrameType.PUSH_PROMISE
-        if self.pad_length is not None:
+        if self.pad_length is not None and not int(self.flags) & _PADDED_BIT:
             self.flags |= FrameFlag.PADDED
 
-    def serialize_payload(self) -> bytes:
-        body = (self.promised_stream_id & MAX_STREAM_ID).to_bytes(4, "big")
-        body += self.header_block
-        if self.pad_length is not None:
-            return _apply_padding(body, self.pad_length)
-        return body
+    def write_payload(self, out: bytearray) -> None:
+        pad = self.pad_length
+        if pad is not None:
+            _check_pad_length(pad)
+            out.append(pad)
+        out += (self.promised_stream_id & MAX_STREAM_ID).to_bytes(4, "big")
+        out += self.header_block
+        if pad:
+            out += b"\x00" * pad
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "PushPromiseFrame":
-        raw_length = len(payload)
-        body = _strip_padding(payload, flags, "PUSH_PROMISE")
-        pad = raw_length - len(body) - 1 if flags & FrameFlag.PADDED else None
+        if int(flags) & _PADDED_BIT:
+            raw_length = len(payload)
+            body = _strip_padding(payload, "PUSH_PROMISE")
+            pad = raw_length - len(body) - 1
+        else:
+            body = payload
+            pad = None
         if len(body) < 4:
             raise FrameSizeError("PUSH_PROMISE shorter than promised stream id")
         promised = int.from_bytes(body[:4], "big") & MAX_STREAM_ID
@@ -301,7 +371,7 @@ class PushPromiseFrame(Frame):
             stream_id=stream_id,
             flags=flags,
             promised_stream_id=promised,
-            header_block=body[4:],
+            header_block=bytes(body[4:]),
             pad_length=pad,
         )
 
@@ -319,19 +389,19 @@ class PingFrame(Frame):
     def is_ack(self) -> bool:
         return bool(self.flags & FrameFlag.ACK)
 
-    def serialize_payload(self) -> bytes:
+    def write_payload(self, out: bytearray) -> None:
         if len(self.payload) != PING_PAYLOAD_LENGTH:
             raise FrameSizeError(
                 f"PING payload must be {PING_PAYLOAD_LENGTH} octets, "
                 f"got {len(self.payload)}"
             )
-        return self.payload
+        out += self.payload
 
     @classmethod
-    def parse_payload(cls, payload: bytes, flags: FrameFlag, stream_id: int) -> "PingFrame":
+    def parse_payload(cls, payload, flags: FrameFlag, stream_id: int) -> "PingFrame":
         if len(payload) != PING_PAYLOAD_LENGTH:
             raise FrameSizeError("PING payload must be exactly 8 octets")
-        return cls(stream_id=stream_id, flags=flags, payload=payload)
+        return cls(stream_id=stream_id, flags=flags, payload=bytes(payload))
 
 
 @dataclass
@@ -345,16 +415,14 @@ class GoAwayFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = FrameType.GOAWAY
 
-    def serialize_payload(self) -> bytes:
-        return (
-            (self.last_stream_id & MAX_STREAM_ID).to_bytes(4, "big")
-            + self.error_code.to_bytes(4, "big")
-            + self.debug_data
-        )
+    def write_payload(self, out: bytearray) -> None:
+        out += (self.last_stream_id & MAX_STREAM_ID).to_bytes(4, "big")
+        out += self.error_code.to_bytes(4, "big")
+        out += self.debug_data
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "GoAwayFrame":
         if len(payload) < 8:
             raise FrameSizeError("GOAWAY payload shorter than 8 octets")
@@ -363,7 +431,7 @@ class GoAwayFrame(Frame):
             flags=flags,
             last_stream_id=int.from_bytes(payload[:4], "big") & MAX_STREAM_ID,
             error_code=int.from_bytes(payload[4:8], "big"),
-            debug_data=payload[8:],
+            debug_data=bytes(payload[8:]),
         )
 
 
@@ -381,12 +449,12 @@ class WindowUpdateFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = FrameType.WINDOW_UPDATE
 
-    def serialize_payload(self) -> bytes:
-        return (self.window_increment & MAX_STREAM_ID).to_bytes(4, "big")
+    def write_payload(self, out: bytearray) -> None:
+        out += (self.window_increment & MAX_STREAM_ID).to_bytes(4, "big")
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "WindowUpdateFrame":
         if len(payload) != 4:
             raise FrameSizeError("WINDOW_UPDATE payload must be exactly 4 octets")
@@ -403,14 +471,14 @@ class ContinuationFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = FrameType.CONTINUATION
 
-    def serialize_payload(self) -> bytes:
-        return self.header_block
+    def write_payload(self, out: bytearray) -> None:
+        out += self.header_block
 
     @classmethod
     def parse_payload(
-        cls, payload: bytes, flags: FrameFlag, stream_id: int
+        cls, payload, flags: FrameFlag, stream_id: int
     ) -> "ContinuationFrame":
-        return cls(stream_id=stream_id, flags=flags, header_block=payload)
+        return cls(stream_id=stream_id, flags=flags, header_block=bytes(payload))
 
 
 @dataclass
@@ -427,8 +495,8 @@ class UnknownFrame(Frame):
     def __post_init__(self) -> None:
         self.frame_type = None  # type: ignore[assignment]
 
-    def serialize_payload(self) -> bytes:
-        return self.payload
+    def write_payload(self, out: bytearray) -> None:
+        out += self.payload
 
 
 _FRAME_CLASSES: dict[int, type[Frame]] = {
@@ -445,63 +513,123 @@ _FRAME_CLASSES: dict[int, type[Frame]] = {
 }
 
 
-def serialize_frame(frame: Frame) -> bytes:
-    """Serialize one frame, header included."""
-    payload = frame.serialize_payload()
+def serialize_frame_into(frame: Frame, out: bytearray) -> None:
+    """Append one serialized frame (header included) to ``out``.
+
+    The 9-octet header is reserved up front and back-patched once the
+    payload length is known; a payload that fails to serialize leaves
+    ``out`` exactly as it was.
+    """
+    start = len(out)
+    out += _HEADER_PLACEHOLDER
+    try:
+        frame.write_payload(out)
+        length = len(out) - start - FRAME_HEADER_LENGTH
+        if length >= 2**24:
+            raise FrameSizeError(f"frame payload too large: {length}")
+    except BaseException:
+        del out[start:]
+        raise
     if isinstance(frame, UnknownFrame):
         type_code = frame.type_code
     else:
         type_code = int(frame.frame_type)
-    return _pack_header(len(payload), type_code, int(frame.flags), frame.stream_id) + payload
+    _HEADER.pack_into(
+        out,
+        start,
+        length >> 8,
+        length & 0xFF,
+        type_code,
+        int(frame.flags),
+        frame.stream_id & MAX_STREAM_ID,
+    )
 
 
-def parse_frame_header(data: bytes) -> tuple[int, int, FrameFlag, int]:
+def serialize_frame(frame: Frame) -> bytes:
+    """Serialize one frame, header included."""
+    out = bytearray()
+    serialize_frame_into(frame, out)
+    return bytes(out)
+
+
+def parse_frame_header(data) -> tuple[int, int, FrameFlag, int]:
     """Parse a 9-octet frame header into (length, type, flags, stream_id)."""
     if len(data) < FRAME_HEADER_LENGTH:
         raise FrameSizeError("frame header truncated")
-    length = int.from_bytes(data[:3], "big")
-    frame_type = data[3]
-    flags = FrameFlag(data[4])
-    stream_id = int.from_bytes(data[5:9], "big") & MAX_STREAM_ID
-    return length, frame_type, flags, stream_id
+    length_hi, length_lo, frame_type, flag_bits, raw_sid = _HEADER.unpack_from(data, 0)
+    return (
+        (length_hi << 8) | length_lo,
+        frame_type,
+        _FLAG_CACHE[flag_bits],
+        raw_sid & MAX_STREAM_ID,
+    )
 
 
-def parse_frames(
-    buffer: bytes, max_frame_size: int | None = None
-) -> tuple[list[Frame], bytes]:
-    """Parse as many complete frames as ``buffer`` holds.
+def parse_frames_view(
+    view, max_frame_size: int | None = None
+) -> tuple[list[Frame], int]:
+    """Parse as many complete frames as the buffer view holds.
 
-    Returns ``(frames, remainder)`` where ``remainder`` is the unparsed
-    tail (an incomplete frame).  ``max_frame_size`` enforces the local
-    SETTINGS_MAX_FRAME_SIZE; exceeding it raises
-    :class:`~repro.h2.errors.FrameSizeError` as §4.2 requires.
+    Returns ``(frames, consumed)`` where ``consumed`` is the octet
+    count of whole frames parsed (the tail past it is an incomplete
+    frame the caller should retain).  ``view`` is any buffer object;
+    payload slices are only materialized into ``bytes`` at the frame
+    fields, so parsing costs one copy per frame, not three.
+    ``max_frame_size`` enforces the local SETTINGS_MAX_FRAME_SIZE;
+    exceeding it raises :class:`~repro.h2.errors.FrameSizeError` as
+    §4.2 requires.
     """
     frames: list[Frame] = []
     offset = 0
-    while len(buffer) - offset >= FRAME_HEADER_LENGTH:
-        length, type_code, flags, stream_id = parse_frame_header(
-            buffer[offset : offset + FRAME_HEADER_LENGTH]
+    available = len(view)
+    unpack_header = _HEADER.unpack_from
+    frame_classes = _FRAME_CLASSES
+    flag_cache = _FLAG_CACHE
+    while available - offset >= FRAME_HEADER_LENGTH:
+        length_hi, length_lo, type_code, flag_bits, raw_sid = unpack_header(
+            view, offset
         )
+        length = (length_hi << 8) | length_lo
         if max_frame_size is not None and length > max_frame_size:
             raise FrameSizeError(
                 f"frame of {length} octets exceeds SETTINGS_MAX_FRAME_SIZE "
                 f"{max_frame_size}"
             )
         end = offset + FRAME_HEADER_LENGTH + length
-        if end > len(buffer):
+        if end > available:
             break
-        payload = buffer[offset + FRAME_HEADER_LENGTH : end]
-        frame_cls = _FRAME_CLASSES.get(type_code)
+        payload = view[offset + FRAME_HEADER_LENGTH : end]
+        frame_cls = frame_classes.get(type_code)
         if frame_cls is None:
             frames.append(
                 UnknownFrame(
-                    stream_id=stream_id,
-                    flags=flags,
+                    stream_id=raw_sid & MAX_STREAM_ID,
+                    flags=flag_cache[flag_bits],
                     type_code=type_code,
-                    payload=payload,
+                    payload=bytes(payload),  # copy ok: field materialization
                 )
             )
         else:
-            frames.append(frame_cls.parse_payload(payload, flags, stream_id))
+            frames.append(
+                frame_cls.parse_payload(
+                    payload, flag_cache[flag_bits], raw_sid & MAX_STREAM_ID
+                )
+            )
         offset = end
-    return frames, buffer[offset:]
+    return frames, offset
+
+
+def parse_frames(
+    buffer, max_frame_size: int | None = None
+) -> tuple[list[Frame], bytes]:
+    """Parse as many complete frames as ``buffer`` holds.
+
+    Returns ``(frames, remainder)`` where ``remainder`` is the unparsed
+    tail (an incomplete frame).  Compatibility wrapper over
+    :func:`parse_frames_view`, which callers owning a stable receive
+    buffer should prefer (it returns an offset instead of copying the
+    tail).
+    """
+    view = memoryview(buffer)
+    frames, consumed = parse_frames_view(view, max_frame_size)
+    return frames, bytes(view[consumed:])

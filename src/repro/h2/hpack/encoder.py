@@ -26,6 +26,13 @@ from repro.h2.hpack.table import DynamicTable, HeaderField
 
 HeaderLike = tuple[bytes | str, bytes | str]
 
+#: Shared cache of encoded string literals keyed by (octets, huffman?).
+#: String-literal encoding is stateless, so the cache is safe to share
+#: across encoders; it is bounded and simply cleared when full (scan
+#: workloads re-encode the same few hundred header strings constantly).
+_STRING_CACHE: dict[tuple[bytes, bool], bytes] = {}
+_STRING_CACHE_MAX = 4096
+
 
 class IndexingPolicy(enum.Enum):
     """How literal header fields are represented on the wire."""
@@ -136,16 +143,35 @@ class Encoder:
         encoded[0] |= 0x20
         return encoded
 
-    def _encode_string(self, data: bytes) -> bytearray:
+    def _encode_string(self, data: bytes) -> bytes:
+        """Encode one string literal (§5.2), Huffman only when it wins.
+
+        A Huffman body is used only when ``encoded_length`` is
+        *strictly* smaller than the raw octet count; ties fall back to
+        the raw form (same wire size, none of the decode cost).
+
+        String literals are context-free — unlike field encoding they
+        don't depend on the dynamic table — so hot strings (header
+        names, repeated values like ``text/html``) are cached in a
+        module-wide table shared by all encoder instances.
+        """
+        key = (data, self.use_huffman)
+        cached = _STRING_CACHE.get(key)
+        if cached is not None:
+            return cached
         if self.use_huffman and huffman.encoded_length(data) < len(data):
-            body = huffman.encode(data)
-            header = encode_integer(len(body), 7)
+            encoded = huffman.encode(data)
+            header = encode_integer(len(encoded), 7)
             header[0] |= 0x80
+            header.extend(encoded)
         else:
-            body = data
-            header = encode_integer(len(body), 7)
-        header.extend(body)
-        return header
+            header = encode_integer(len(data), 7)
+            header.extend(data)
+        result = bytes(header)
+        if len(_STRING_CACHE) >= _STRING_CACHE_MAX:
+            _STRING_CACHE.clear()
+        _STRING_CACHE[key] = result
+        return result
 
     # -- table search ---------------------------------------------------
 

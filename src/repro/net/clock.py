@@ -3,6 +3,20 @@
 All simulated components share one :class:`Simulation`; time only
 advances when :meth:`Simulation.run` (or a variant) processes events.
 Event timestamps are floats in seconds.
+
+The scheduler sits on every packet's path, so its per-event cost is
+kept deliberately low:
+
+* ``pending_events`` is an O(1) counter maintained on schedule/cancel,
+  not a scan of the heap;
+* cancelled timers stay in the heap and are discarded lazily when they
+  surface — the heap is only rebuilt (asyncio-style) once cancelled
+  entries are both numerous and the majority;
+* ``run``/``run_until`` peek the queue head once per event and pop it
+  directly instead of re-scanning through :meth:`step`;
+* ``run_until`` re-evaluates its predicate only after something that
+  could have changed it: one per executed callback, plus the final
+  deadline check only when the clock actually moved.
 """
 
 from __future__ import annotations
@@ -11,20 +25,33 @@ import heapq
 import itertools
 from collections.abc import Callable
 
+#: Rebuild the heap only once this many cancelled entries linger *and*
+#: they outnumber the live ones (checked in ``Simulation._on_cancel``).
+_MIN_STALE_TO_COMPACT = 64
+
 
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "callback", "args", "cancelled")
+    __slots__ = ("when", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, when: float, callback: Callable, args: tuple):
+    def __init__(self, when: float, callback: Callable, args: tuple, sim=None):
         self.when = when
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulation while the timer sits in its queue; cleared
+        #: when the timer fires or its heap entry is discarded, so late
+        #: ``cancel()`` calls don't corrupt the live-event accounting.
+        self._sim = sim
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                self._sim = None
+                sim._on_cancel()
 
 
 class Simulation:
@@ -35,6 +62,8 @@ class Simulation:
         self._queue: list[tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._live = 0  # scheduled and not cancelled
+        self._stale = 0  # cancelled entries still sitting in the heap
 
     # -- scheduling -------------------------------------------------------
 
@@ -42,8 +71,9 @@ class Simulation:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
-        timer = Timer(when, callback, args)
+        timer = Timer(when, callback, args, self)
         heapq.heappush(self._queue, (when, next(self._sequence), timer))
+        self._live += 1
         return timer
 
     def call_later(self, delay: float, callback: Callable, *args) -> Timer:
@@ -52,11 +82,26 @@ class Simulation:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.call_at(self.now + delay, callback, *args)
 
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        self._stale += 1
+        if (
+            self._stale > _MIN_STALE_TO_COMPACT
+            and self._stale * 2 >= len(self._queue)
+        ):
+            # In-place so loops holding a reference to the list see the
+            # compacted heap (a callback may cancel timers mid-run).
+            self._queue[:] = [
+                entry for entry in self._queue if not entry[2].cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._stale = 0
+
     # -- execution ---------------------------------------------------------
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for _, _, t in self._queue if not t.cancelled)
+        return self._live
 
     @property
     def processed_events(self) -> int:
@@ -64,11 +109,15 @@ class Simulation:
 
     def step(self) -> bool:
         """Process the next event; returns False if the queue is empty."""
-        while self._queue:
-            when, _, timer = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _, timer = heapq.heappop(queue)
             if timer.cancelled:
+                self._stale -= 1
                 continue
             assert when >= self.now, "event queue went backwards"
+            timer._sim = None
+            self._live -= 1
             self.now = when
             timer.callback(*timer.args)
             self._processed += 1
@@ -77,15 +126,22 @@ class Simulation:
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
         """Run until the queue drains or the clock reaches ``until``."""
+        queue = self._queue
         for _ in range(max_events):
-            if until is not None and self._peek_time() is not None:
-                if self._peek_time() > until:  # type: ignore[operator]
+            peek = self._peek_time()
+            if peek is None:
+                if until is not None and until > self.now:
                     self.now = until
-                    return
-            if not self.step():
-                if until is not None:
-                    self.now = max(self.now, until)
                 return
+            if until is not None and peek > until:
+                self.now = until
+                return
+            when, _, timer = heapq.heappop(queue)
+            timer._sim = None
+            self._live -= 1
+            self.now = when
+            timer.callback(*timer.args)
+            self._processed += 1
         raise RuntimeError(f"simulation exceeded {max_events} events")
 
     def run_until(
@@ -96,24 +152,40 @@ class Simulation:
     ) -> bool:
         """Run until ``predicate()`` is true; returns whether it became true.
 
-        ``timeout`` is virtual seconds from the current instant.
+        ``timeout`` is virtual seconds from the current instant.  The
+        predicate is evaluated once up front and once after each
+        executed callback; when the deadline passes it is re-evaluated
+        only if the clock moved since the last check (nothing else can
+        have changed its answer).
         """
         deadline = self.now + timeout
+        if predicate():
+            return True
+        queue = self._queue
         for _ in range(max_events):
-            if predicate():
-                return True
             peek = self._peek_time()
             if peek is None or peek > deadline:
-                self.now = min(deadline, max(self.now, deadline))
+                if deadline == self.now:
+                    return False
+                self.now = deadline
                 return predicate()
-            self.step()
+            when, _, timer = heapq.heappop(queue)
+            timer._sim = None
+            self._live -= 1
+            self.now = when
+            timer.callback(*timer.args)
+            self._processed += 1
+            if predicate():
+                return True
         raise RuntimeError(f"simulation exceeded {max_events} events")
 
     def _peek_time(self) -> float | None:
-        while self._queue:
-            when, _, timer = self._queue[0]
+        queue = self._queue
+        while queue:
+            when, _, timer = queue[0]
             if timer.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
+                self._stale -= 1
                 continue
             return when
         return None

@@ -89,10 +89,21 @@ class Endpoint:
         self._bandwidth = float("inf")
         self._channel = LinkChannel()  # shared per host+direction
         self._stall_until = 0.0  # per-connection loss-recovery stall
-        self._rng: random.Random = random.Random(0)
+        # The RNG is built lazily from the seed: on a clean link (no
+        # loss, no jitter) no draw is ever observable, so the Random
+        # instance — and its costly seeding — can be skipped entirely.
+        self._rng_seed = 0
+        self._rng_cache: random.Random | None = None
         self._profile = LinkProfile()
         #: Injected fault applied to this endpoint's traffic (if any).
         self.fault: FaultState | None = None
+
+    @property
+    def _rng(self) -> random.Random:
+        rng = self._rng_cache
+        if rng is None:
+            rng = self._rng_cache = random.Random(self._rng_seed)
+        return rng
 
     # -- sending ----------------------------------------------------------
 
@@ -132,18 +143,25 @@ class Endpoint:
         # probability loss_rate, each costing one RTO of extra delay.
         # The stall is per-connection: other connections keep using the
         # link while this one waits for its retransmission timer.
-        segments = max(1, (len(data) + MSS - 1) // MSS)
-        retransmissions = sum(
-            1 for _ in range(segments) if self._rng.random() < self._profile.loss_rate
-        )
-        penalty = retransmissions * self._profile.rto()
+        # On a clean link (no loss, no jitter) every draw's outcome is
+        # discarded, so the whole block — and the RNG — is skipped; on
+        # a lossy or jittery link the draw order matches the original
+        # implementation exactly, bit for bit.
+        profile = self._profile
+        jitter = 0.0
+        if profile.loss_rate or profile.jitter:
+            rng = self._rng
+            segments = max(1, (len(data) + MSS - 1) // MSS)
+            retransmissions = sum(
+                1 for _ in range(segments) if rng.random() < profile.loss_rate
+            )
+            penalty = retransmissions * profile.rto()
+            if profile.jitter:
+                jitter = rng.uniform(-profile.jitter, profile.jitter)
+        else:
+            penalty = 0.0
         self._stall_until = start + serialize + penalty
 
-        jitter = (
-            self._rng.uniform(-self._profile.jitter, self._profile.jitter)
-            if self._profile.jitter
-            else 0.0
-        )
         arrival = self._stall_until + self._one_way_delay + max(0.0, jitter)
         arrival += fault_delay
         self._sim.call_at(arrival, self._deliver_to_peer, data)
@@ -337,7 +355,7 @@ class Network:
             end._one_way_delay = profile.rtt / 2
             end._bandwidth = profile.bandwidth
             end._profile = profile
-            end._rng = random.Random(conn_seed)
+            end._rng_seed = conn_seed
         # Parallel connections to one host contend for its access link.
         client_end._channel = server.uplink
         server_end._channel = server.downlink

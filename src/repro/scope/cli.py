@@ -540,6 +540,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "workers", None) is not None:
+        from repro.scope.parallel import effective_workers
+
+        capped = effective_workers(args.workers, warn=False)
+        if capped != args.workers:
+            print(
+                f"warning: --workers {args.workers} exceeds the available "
+                f"CPU count; using {capped} (oversubscribing a CPU-bound "
+                f"scan only slows it down)",
+                file=sys.stderr,
+            )
+            args.workers = capped
     return args.func(args)
 
 

@@ -56,6 +56,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import warnings
 from collections import deque
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -65,6 +66,36 @@ from repro.net.faults import FaultPlan
 from repro.scope.report import ErrorClass, ScanError, SiteReport
 from repro.scope.resilience import ResilienceConfig, make_scan_error
 from repro.servers.site import Site
+
+#: Environment escape hatch: set to ``1`` to deliberately oversubscribe
+#: (determinism tests exercise multi-worker paths on single-core CI).
+OVERSUBSCRIBE_ENV = "H2SCOPE_OVERSUBSCRIBE"
+
+
+def effective_workers(requested: int, *, warn: bool = True) -> int:
+    """Clamp a requested worker count to the machine's CPU count.
+
+    BENCH_parallel_scan.json shows oversubscription is not just useless
+    but actively harmful for this CPU-bound workload (8 workers on one
+    core collapse to ~0.3x serial throughput), so a request beyond
+    ``os.cpu_count()`` is capped with a :class:`RuntimeWarning` instead
+    of silently honoured.  Results are unaffected either way — reports
+    are byte-identical for any worker count.
+    """
+    requested = max(1, int(requested))
+    if os.environ.get(OVERSUBSCRIBE_ENV) == "1":
+        return requested
+    cpus = os.cpu_count() or 1
+    if requested > cpus:
+        if warn:
+            warnings.warn(
+                f"--workers {requested} exceeds the {cpus} available CPU(s); "
+                f"capping to {cpus} (set {OVERSUBSCRIBE_ENV}=1 to override)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return cpus
+    return requested
 
 
 @dataclass(frozen=True)
@@ -220,7 +251,7 @@ class ParallelCampaignRunner:
         poll_interval: float = 0.2,
     ):
         self.sites = sites
-        self.workers = max(1, int(workers))
+        self.workers = effective_workers(workers)
         self.options = ScanOptions(
             include=tuple(sorted(include)) if include is not None else None,
             seed=seed,

@@ -1,0 +1,175 @@
+"""Differential tests: zero-copy frame codec vs the reference codec.
+
+:mod:`repro.h2.frames` (memoryview parse, pack_into serialize) must be
+observationally indistinguishable from :mod:`repro.h2.frames_ref` (the
+original copy-based implementation): identical wire bytes, identical
+parsed fields, and the same error class on malformed input.  The
+corpus reuses the seeded frame generator from the fuzz suite plus
+header-level mutations that hit the structural validation paths.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.h2 import frames, frames_ref
+from repro.h2.errors import FrameSizeError, ProtocolError
+
+from tests.h2.test_fuzz_roundtrip import FRAME_SEED, random_frame
+
+N_FRAMES = 800
+
+
+def as_ref_frame(frame):
+    """Rebuild a hot-codec frame as its frames_ref twin."""
+    cls = getattr(frames_ref, type(frame).__name__)
+    fields = {
+        f.name: getattr(frame, f.name)
+        for f in dataclasses.fields(frame)
+        if f.init
+    }
+    if "priority" in fields and fields["priority"] is not None:
+        fields["priority"] = frames_ref.PriorityData(
+            depends_on=fields["priority"].depends_on,
+            weight=fields["priority"].weight,
+            exclusive=fields["priority"].exclusive,
+        )
+    return cls(**fields)
+
+
+def field_view(frame):
+    """A comparable (type-name, fields) projection of a parsed frame."""
+    fields = {}
+    for f in dataclasses.fields(frame):
+        value = getattr(frame, f.name)
+        if type(value).__name__ == "PriorityData":
+            value = (value.depends_on, value.weight, value.exclusive)
+        elif f.name in ("flags", "frame_type") and value is not None:
+            value = int(value)
+        fields[f.name] = value
+    return type(frame).__name__, fields
+
+
+def parse_outcome(codec, data):
+    try:
+        parsed, remainder = codec.parse_frames(data)
+        return True, [field_view(f) for f in parsed], bytes(remainder)
+    except (FrameSizeError, ProtocolError) as exc:
+        return False, type(exc).__name__, str(exc)
+
+
+class TestSerializeDifferential:
+    def test_random_frames_serialize_byte_identically(self):
+        rng = random.Random(FRAME_SEED + 10)
+        for _ in range(N_FRAMES):
+            frame = random_frame(rng)
+            wire = frames.serialize_frame(frame)
+            assert wire == frames_ref.serialize_frame(as_ref_frame(frame))
+
+    def test_serialize_into_appends_without_disturbing_prefix(self):
+        rng = random.Random(FRAME_SEED + 11)
+        out = bytearray(b"prefix")
+        singles = []
+        for _ in range(50):
+            frame = random_frame(rng)
+            frames.serialize_frame_into(frame, out)
+            singles.append(frames_ref.serialize_frame(as_ref_frame(frame)))
+        assert bytes(out) == b"prefix" + b"".join(singles)
+
+    def test_failed_serialize_leaves_buffer_untouched(self):
+        out = bytearray(b"keep")
+        with pytest.raises(FrameSizeError):
+            frames.serialize_frame_into(
+                frames.PingFrame(payload=b"short"), out
+            )
+        assert out == bytearray(b"keep")
+        with pytest.raises(ProtocolError):
+            frames.serialize_frame_into(
+                frames.DataFrame(stream_id=1, data=b"x", pad_length=300), out
+            )
+        assert out == bytearray(b"keep")
+
+    def test_serialize_error_classes_match_reference(self):
+        bad_frames = [
+            lambda m: m.PingFrame(payload=b"way too long for ping"),
+            lambda m: m.DataFrame(stream_id=1, data=b"x", pad_length=999),
+            lambda m: m.PriorityFrame(
+                stream_id=3, priority=m.PriorityData(weight=0)
+            ),
+            lambda m: m.HeadersFrame(
+                stream_id=5, header_block=b"hb", pad_length=-1
+            ),
+        ]
+        for make in bad_frames:
+            with pytest.raises(Exception) as hot:
+                frames.serialize_frame(make(frames))
+            with pytest.raises(Exception) as ref:
+                frames_ref.serialize_frame(make(frames_ref))
+            assert type(hot.value) is type(ref.value)
+
+
+class TestParseDifferential:
+    def corpus(self, seed, count=N_FRAMES):
+        rng = random.Random(seed)
+        return rng, [
+            frames_ref.serialize_frame(as_ref_frame(random_frame(rng)))
+            for _ in range(count)
+        ]
+
+    def test_valid_wire_parses_identically(self):
+        _, corpus = self.corpus(FRAME_SEED + 12)
+        for wire in corpus:
+            assert parse_outcome(frames, wire) == parse_outcome(frames_ref, wire)
+
+    def test_concatenated_and_truncated_streams_parse_identically(self):
+        rng, corpus = self.corpus(FRAME_SEED + 13, count=60)
+        stream = b"".join(corpus)
+        for _ in range(300):
+            cut = rng.randrange(0, len(stream) + 1)
+            data = stream[:cut]
+            assert parse_outcome(frames, data) == parse_outcome(frames_ref, data)
+
+    def test_mutated_wire_matches_reference_outcomes(self):
+        """Header/payload byte flips: same frames or same error class."""
+        rng, corpus = self.corpus(FRAME_SEED + 14, count=400)
+        for wire in corpus:
+            mutated = bytearray(wire)
+            mutated[rng.randrange(len(mutated))] ^= 1 << rng.randrange(8)
+            data = bytes(mutated)
+            try:
+                hot = parse_outcome(frames, data)
+            except OverflowError:
+                # A length mutation can promise more payload than the
+                # buffer holds; both codecs just leave it as remainder,
+                # so OverflowError would be a hot-codec-only bug.
+                raise
+            assert hot == parse_outcome(frames_ref, data)
+
+    def test_max_frame_size_enforcement_matches(self):
+        _, corpus = self.corpus(FRAME_SEED + 15, count=100)
+        for wire in corpus:
+            for limit in (0, 8, 64):
+                assert parse_outcome_with_limit(frames, wire, limit) == (
+                    parse_outcome_with_limit(frames_ref, wire, limit)
+                )
+
+    def test_parse_frame_header_matches(self):
+        rng, corpus = self.corpus(FRAME_SEED + 16, count=100)
+        for wire in corpus:
+            assert frames.parse_frame_header(wire) == tuple(
+                frames_ref.parse_frame_header(wire)
+            )
+        for short in (b"", b"\x00" * 8):
+            with pytest.raises(FrameSizeError):
+                frames.parse_frame_header(short)
+            with pytest.raises(FrameSizeError):
+                frames_ref.parse_frame_header(short)
+
+
+def parse_outcome_with_limit(codec, data, limit):
+    try:
+        parsed, remainder = codec.parse_frames(data, max_frame_size=limit)
+        return True, [field_view(f) for f in parsed], bytes(remainder)
+    except (FrameSizeError, ProtocolError) as exc:
+        return False, type(exc).__name__, str(exc)

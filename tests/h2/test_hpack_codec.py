@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack import huffman
 from repro.h2.hpack.decoder import Decoder
 from repro.h2.hpack.encoder import Encoder, IndexingPolicy
 
@@ -187,3 +188,60 @@ class TestRoundTrip:
             enc = Encoder(default_policy=policy)
             dec = Decoder()
             assert dec.decode(enc.encode(headers)) == headers
+
+
+class TestStringLiteralFallback:
+    """`_encode_string` picks Huffman only when strictly smaller (§5.2)."""
+
+    def test_compressible_string_uses_huffman(self):
+        # All-lowercase text compresses well below its raw length.
+        enc = Encoder(use_huffman=True)
+        encoded = enc._encode_string(b"www.example.com")
+        assert encoded[0] & 0x80  # H bit set
+        assert encoded[0] & 0x7F == huffman.encoded_length(b"www.example.com")
+
+    def test_incompressible_string_falls_back_to_raw(self):
+        # \xf8..\xfb need 26-28 bits each: Huffman would inflate, so the
+        # literal must go raw even with use_huffman enabled.
+        data = b"\xf8\xf9\xfa\xfb"
+        assert huffman.encoded_length(data) > len(data)
+        enc = Encoder(use_huffman=True)
+        encoded = enc._encode_string(data)
+        assert not encoded[0] & 0x80
+        assert encoded == bytes([len(data)]) + data
+
+    def test_equal_length_tie_falls_back_to_raw(self):
+        # Strictly-smaller rule: a tie keeps the raw form (same wire
+        # size, cheaper for every decoder downstream).
+        data = b"//|//|//"  # '/' is 6 bits, '|' 15 → exactly 8 octets
+        assert huffman.encoded_length(data) == len(data)
+        enc = Encoder(use_huffman=True)
+        encoded = enc._encode_string(data)
+        assert not encoded[0] & 0x80
+        assert encoded == bytes([len(data)]) + data
+
+    def test_huffman_disabled_is_always_raw(self):
+        enc = Encoder(use_huffman=False)
+        encoded = enc._encode_string(b"www.example.com")
+        assert not encoded[0] & 0x80
+
+    def test_cache_returns_identical_bytes_across_encoders(self):
+        from repro.h2.hpack import encoder as encoder_module
+
+        encoder_module._STRING_CACHE.clear()
+        first = Encoder(use_huffman=True)._encode_string(b"text/html")
+        assert (b"text/html", True) in encoder_module._STRING_CACHE
+        second = Encoder(use_huffman=True)._encode_string(b"text/html")
+        assert first == second
+        # Huffman on/off are distinct cache entries.
+        raw = Encoder(use_huffman=False)._encode_string(b"text/html")
+        assert raw != first
+
+    def test_cache_clears_when_full(self):
+        from repro.h2.hpack import encoder as encoder_module
+
+        encoder_module._STRING_CACHE.clear()
+        enc = Encoder(use_huffman=False)
+        for i in range(encoder_module._STRING_CACHE_MAX + 10):
+            enc._encode_string(b"x-%d" % i)
+        assert len(encoder_module._STRING_CACHE) <= encoder_module._STRING_CACHE_MAX

@@ -1,0 +1,108 @@
+"""Differential tests: table-driven Huffman codec vs the reference codec.
+
+The hot-path DFA codec (:mod:`repro.h2.hpack.huffman`) must be
+observationally indistinguishable from the retained per-bit tree codec
+(:mod:`repro.h2.hpack.huffman_ref`): byte-identical outputs on every
+valid input, and the *same error class and message* on every malformed
+one.  The corpus is the RFC 7541 Appendix C vectors plus ~2k
+seeded-random inputs — valid encodings, truncations, bit flips and raw
+garbage — so the whole DFA (transitions, EOS detection, padding rules)
+is pinned against the executable specification.
+"""
+
+import random
+
+from repro.h2.errors import HpackDecodingError
+from repro.h2.hpack import huffman, huffman_ref
+
+from tests.h2.test_huffman import RFC_VECTORS
+
+SEED = 0x48554646  # "HUFF"
+
+
+def decode_outcome(codec, data):
+    """Normalize a decode into a comparable (ok, payload) pair."""
+    try:
+        return True, codec.decode(data)
+    except HpackDecodingError as exc:
+        return False, (type(exc), str(exc))
+
+
+class TestAppendixCVectors:
+    def test_encode_matches_reference_and_rfc(self):
+        for plain, hex_encoded in RFC_VECTORS:
+            expected = bytes.fromhex(hex_encoded)
+            assert huffman.encode(plain) == expected
+            assert huffman_ref.encode(plain) == expected
+
+    def test_decode_matches_reference(self):
+        for plain, hex_encoded in RFC_VECTORS:
+            wire = bytes.fromhex(hex_encoded)
+            assert huffman.decode(wire) == plain
+            assert huffman_ref.decode(wire) == plain
+
+    def test_encoded_length_matches_reference(self):
+        for plain, hex_encoded in RFC_VECTORS:
+            assert huffman.encoded_length(plain) == len(bytes.fromhex(hex_encoded))
+            assert huffman.encoded_length(plain) == huffman_ref.encoded_length(plain)
+
+
+class TestFuzzCorpus:
+    def test_valid_encodings_are_byte_identical(self):
+        """Encode, encoded_length and decode agree on 1000 random strings."""
+        rng = random.Random(SEED)
+        for _ in range(1000):
+            plain = rng.randbytes(rng.randrange(0, 80))
+            wire = huffman_ref.encode(plain)
+            assert huffman.encode(plain) == wire
+            assert huffman.encoded_length(plain) == len(wire) or not plain
+            assert huffman.decode(wire) == plain
+
+    def test_truncations_match_reference_outcomes(self):
+        """Every truncation of a valid encoding: same bytes or same error."""
+        rng = random.Random(SEED + 1)
+        for _ in range(150):
+            plain = rng.randbytes(rng.randrange(1, 40))
+            wire = huffman_ref.encode(plain)
+            for cut in range(len(wire)):
+                data = wire[:cut]
+                assert decode_outcome(huffman, data) == decode_outcome(
+                    huffman_ref, data
+                )
+
+    def test_bit_flips_match_reference_outcomes(self):
+        rng = random.Random(SEED + 2)
+        for _ in range(500):
+            plain = rng.randbytes(rng.randrange(1, 40))
+            wire = bytearray(huffman_ref.encode(plain))
+            wire[rng.randrange(len(wire))] ^= 1 << rng.randrange(8)
+            data = bytes(wire)
+            assert decode_outcome(huffman, data) == decode_outcome(
+                huffman_ref, data
+            )
+
+    def test_raw_garbage_matches_reference_outcomes(self):
+        rng = random.Random(SEED + 3)
+        for _ in range(500):
+            data = rng.randbytes(rng.randrange(0, 48))
+            assert decode_outcome(huffman, data) == decode_outcome(
+                huffman_ref, data
+            )
+
+    def test_all_ones_padding_lengths(self):
+        """0xFF tails exercise the exact 7-bit padding boundary."""
+        for base_len in range(0, 6):
+            base = huffman_ref.encode(b"a" * base_len)
+            for extra in range(0, 5):
+                data = base + b"\xff" * extra
+                assert decode_outcome(huffman, data) == decode_outcome(
+                    huffman_ref, data
+                )
+
+    def test_every_single_octet_input(self):
+        """All 256 one-octet inputs: total coverage of the first row."""
+        for value in range(256):
+            data = bytes([value])
+            assert decode_outcome(huffman, data) == decode_outcome(
+                huffman_ref, data
+            )

@@ -124,3 +124,105 @@ class TestRunVariants:
         sim.call_later(0.0, forever)
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
+
+
+class TestEventAccounting:
+    def test_pending_events_is_a_counter_not_a_scan(self):
+        sim = Simulation()
+        timers = [sim.call_later(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for timer in timers[:4]:
+            timer.cancel()
+        assert sim.pending_events == 6
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.processed_events == 6
+
+    def test_double_cancel_does_not_corrupt_counter(self):
+        sim = Simulation()
+        timer = sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulation()
+        timer = sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, lambda: None)
+        sim.run(until=1.5)
+        timer.cancel()  # already fired: must be a no-op
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.processed_events == 2
+
+    def test_mass_cancellation_compacts_lazily_and_still_fires_rest(self):
+        sim = Simulation()
+        fired = []
+        keep = []
+        doomed = []
+        for i in range(500):
+            doomed.append(sim.call_later(1.0 + i * 0.001, lambda: None))
+            keep.append(sim.call_later(2.0 + i * 0.001, fired.append, i))
+        for timer in doomed:
+            timer.cancel()
+        # Compaction must have culled the heap below its full size.
+        assert len(sim._queue) < 1000
+        assert sim.pending_events == 500
+        sim.run()
+        assert fired == list(range(500))
+
+    def test_callback_cancelling_timers_mid_run_is_safe(self):
+        sim = Simulation()
+        fired = []
+        victims = [sim.call_later(5.0 + i * 0.01, fired.append, i) for i in range(200)]
+
+        def massacre():
+            for timer in victims:
+                timer.cancel()
+
+        sim.call_later(1.0, massacre)
+        sim.call_later(9.0, fired.append, "survivor")
+        sim.run()
+        assert fired == ["survivor"]
+
+
+class TestRunSemantics:
+    def test_run_with_until_before_now_moves_clock_to_until(self):
+        # Documented oddity preserved from the original loop: an `until`
+        # in the past pulls the clock back (callers never do this, but
+        # the rewrite must not silently change it).
+        sim = Simulation()
+        sim.call_later(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        sim.call_later(5.0, lambda: None)
+        sim.run(until=0.5)
+        assert sim.now == 0.5
+
+    def test_run_until_deadline_exactly_now_skips_predicate_recheck(self):
+        sim = Simulation()
+        calls = []
+
+        def predicate():
+            calls.append(sim.now)
+            return False
+
+        assert not sim.run_until(predicate, timeout=0.0)
+        # One up-front evaluation; the deadline exit must not re-ask
+        # when the clock did not move.
+        assert calls == [0.0]
+
+    def test_run_until_reevaluates_when_clock_moved_to_deadline(self):
+        sim = Simulation()
+        assert sim.run_until(lambda: sim.now >= 1.0, timeout=1.0)
+        assert sim.now == 1.0
+
+    def test_run_until_counts_each_event_once(self):
+        sim = Simulation()
+        calls = []
+        for i in range(3):
+            sim.call_later(float(i + 1), lambda: None)
+        sim.run_until(lambda: bool(calls.append(0)) or False, timeout=10.0)
+        # up-front + once per processed event + once at the deadline
+        assert len(calls) == 1 + 3 + 1

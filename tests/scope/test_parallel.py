@@ -17,7 +17,12 @@ import pytest
 
 from repro.net.faults import FaultPlan
 from repro.population.generator import PopulationConfig, make_population
-from repro.scope.parallel import ParallelCampaignRunner, SiteTask
+from repro.scope.parallel import (
+    OVERSUBSCRIBE_ENV,
+    ParallelCampaignRunner,
+    SiteTask,
+    effective_workers,
+)
 from repro.scope.report import SiteReport
 from repro.scope.resilience import ResilienceConfig, make_scan_error
 from repro.scope.scanner import (
@@ -267,3 +272,72 @@ class TestProgressAggregator:
         tick = tracker.snapshot()
         assert (tick.done, tick.errors, tick.quarantined) == (5, 1, 1)
         assert tick.virtual_seconds == 10.0
+
+
+class TestWorkersCap:
+    """`effective_workers` clamps oversubscription (ISSUE 4 satellite)."""
+
+    def _uncapped_env(self, monkeypatch):
+        # The scope-wide autouse fixture sets the escape hatch so the
+        # determinism tests still fork on 1-core CI; undo it here to
+        # test the cap itself.
+        monkeypatch.delenv(OVERSUBSCRIBE_ENV, raising=False)
+
+    def test_request_beyond_cpu_count_is_capped_with_warning(self, monkeypatch):
+        self._uncapped_env(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="capping to 2"):
+            assert effective_workers(8) == 2
+
+    def test_request_within_cpu_count_passes_through(self, monkeypatch):
+        self._uncapped_env(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert effective_workers(3) == 3
+        assert effective_workers(4) == 4
+
+    def test_escape_hatch_disables_cap(self, monkeypatch):
+        monkeypatch.setenv(OVERSUBSCRIBE_ENV, "1")
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert effective_workers(8) == 8
+
+    def test_nonpositive_requests_become_one(self, monkeypatch):
+        self._uncapped_env(monkeypatch)
+        assert effective_workers(0) == 1
+        assert effective_workers(-3) == 1
+
+    def test_runner_applies_cap(self, monkeypatch):
+        self._uncapped_env(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning):
+            runner = ParallelCampaignRunner([], workers=16)
+        assert runner.workers == 2
+
+    def test_cli_pre_clamps_workers_with_stderr_notice(self, monkeypatch, capsys):
+        self._uncapped_env(monkeypatch)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        from repro.scope import cli
+
+        seen = {}
+
+        def fake_cmd(args):
+            seen["workers"] = args.workers
+            return 0
+
+        monkeypatch.setattr(cli, "_cmd_scan", fake_cmd)
+        parser = cli.build_parser()
+        args = parser.parse_args(["scan", "--n-sites", "5", "--workers", "6"])
+        monkeypatch.setattr(args, "func", fake_cmd)
+        monkeypatch.setattr(
+            cli, "build_parser", lambda: _FixedParser(args)
+        )
+        assert cli.main(["scan"]) == 0
+        assert seen["workers"] == 1
+        assert "exceeds the available" in capsys.readouterr().err
+
+
+class _FixedParser:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv=None):
+        return self._args

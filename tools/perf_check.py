@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare two BENCH_codec.json files and fail on throughput regression.
+
+CI runs the codec benchmark twice on the same runner — once on the
+merge base (baseline) and once on the candidate tree — then calls::
+
+    python tools/perf_check.py baseline.json candidate.json
+
+The check fails (exit 1) when any benchmark's hot-path throughput drops
+by more than ``--threshold`` (default 25%) relative to baseline.  The
+paired same-runner design cancels machine-to-machine variance; the
+generous threshold absorbs within-runner noise while still catching
+real hot-path regressions (which historically show up as 2-10x, not
+percents).
+
+Also re-enforces the absolute speedup floors recorded in the candidate
+file itself (hot vs reference codec), so a regression of the hot codec
+*towards* the reference fails even if both runs regressed together.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict[str, dict]:
+    data = json.loads(path.read_text())
+    return {row["name"]: row for row in data["results"]}, data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated relative throughput loss (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    base_rows, _ = load(args.baseline)
+    cand_rows, cand_data = load(args.candidate)
+
+    failures = []
+    for name, base in sorted(base_rows.items()):
+        cand = cand_rows.get(name)
+        if cand is None:
+            failures.append(f"{name}: missing from candidate results")
+            continue
+        base_mb = base["hot_mb_per_sec"]
+        cand_mb = cand["hot_mb_per_sec"]
+        ratio = cand_mb / base_mb if base_mb else float("inf")
+        verdict = "ok"
+        if ratio < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {base_mb:.2f} -> {cand_mb:.2f} MB/s "
+                f"({(1.0 - ratio) * 100:.1f}% loss > "
+                f"{args.threshold * 100:.0f}% threshold)"
+            )
+        print(
+            f"{name:<18} baseline {base_mb:>9.2f} MB/s   "
+            f"candidate {cand_mb:>9.2f} MB/s   x{ratio:.2f}  {verdict}"
+        )
+
+    for name, floor in cand_data.get("thresholds", {}).items():
+        row = cand_rows.get(name)
+        if row is None:
+            failures.append(f"{name}: threshold present but row missing")
+        elif row["speedup"] < floor:
+            failures.append(
+                f"{name}: hot/reference speedup {row['speedup']}x "
+                f"below the {floor}x floor"
+            )
+
+    if failures:
+        print("\nperf check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
