@@ -28,7 +28,11 @@ def total_variation_distance(paper: Mapping, measured: Mapping) -> float:
     p = _normalize(paper)
     q = _normalize(measured)
     keys = set(p) | set(q)
-    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+    distance = 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+    # Float rounding can push the sum one ulp past the mathematical
+    # bound of 1 (summation order over the key set is not fixed by the
+    # inputs); clamp so callers can rely on [0, 1].
+    return min(1.0, distance)
 
 
 def relative_error(paper: float, measured: float) -> float:

@@ -165,22 +165,35 @@ def characterize_vendor(vendor: str, seed: int = 0) -> dict[str, str]:
         website=testbed_website(),
     )
     deploy_site(network, site)
-    domain = site.domain
+    return matrix_cells(network, site.domain)
+
+
+def matrix_cells(session, domain: str) -> dict[str, str]:
+    """The Table III feature-matrix column for one target.
+
+    Backend-agnostic: ``session`` is anything the probes accept (a
+    :class:`~repro.scope.session.ProbeSession`, a transport backend, or
+    a simulated ``Network``), so the same cell computation runs against
+    the simulated testbed and against a real server — the socket-
+    backend differential test compares the two verdict-for-verdict.
+    The target must serve the testbed object layout (``/large/*.bin``,
+    ``/medium/*.bin``); cells degrade to "no response" otherwise.
+    """
     cells: dict[str, str] = {}
 
-    negotiation = probe_negotiation(network, domain)
+    negotiation = probe_negotiation(session, domain)
     cells["ALPN"] = "support" if negotiation.alpn_h2 else "no support"
     cells["NPN"] = "support" if negotiation.npn_h2 else "no support"
 
     multiplexing = probe_multiplexing(
-        network, domain, [f"/large/{i}.bin" for i in range(4)]
+        session, domain, [f"/large/{i}.bin" for i in range(4)]
     )
     cells["Request Multiplexing"] = (
         "support" if multiplexing.interleaved else "no support"
     )
 
     tiny, first_size, _ = probe_tiny_window(
-        network, domain, sframe=TESTBED_SFRAME, path="/large/1.bin"
+        session, domain, sframe=TESTBED_SFRAME, path="/large/1.bin"
     )
     cells["Flow Control on DATA Frames"] = (
         "yes"
@@ -188,32 +201,32 @@ def characterize_vendor(vendor: str, seed: int = 0) -> dict[str, str]:
         else "no"
     )
 
-    headers_ok = probe_zero_window_headers(network, domain, path="/large/2.bin")
+    headers_ok = probe_zero_window_headers(session, domain, path="/large/2.bin")
     cells["Flow Control on HEADERS Frames"] = "no" if headers_ok else "yes"
 
     reaction, _ = probe_zero_window_update(
-        network, domain, level="stream", path="/large/3.bin"
+        session, domain, level="stream", path="/large/3.bin"
     )
     cells["Zero Window Update on stream"] = _reaction_cell(reaction)
     reaction, _ = probe_zero_window_update(
-        network, domain, level="connection", path="/large/3.bin"
+        session, domain, level="connection", path="/large/3.bin"
     )
     cells["Zero Window Update on connection"] = _reaction_cell(reaction)
 
     reaction = probe_large_window_update(
-        network, domain, level="connection", path="/large/4.bin"
+        session, domain, level="connection", path="/large/4.bin"
     )
     cells["Large Window Update (Connection)"] = _reaction_cell(reaction)
     reaction = probe_large_window_update(
-        network, domain, level="stream", path="/large/4.bin"
+        session, domain, level="stream", path="/large/4.bin"
     )
     cells["Large Window Update (Stream)"] = _reaction_cell(reaction)
 
-    push = probe_push(network, domain)
+    push = probe_push(session, domain)
     cells["Server Push"] = "yes" if push.push_received else "no"
 
     priority = probe_priority(
-        network,
+        session,
         domain,
         test_paths=[f"/large/{i}.bin" for i in range(6)],
         depletion_paths=[f"/medium/{i}.bin" for i in range(4)],
@@ -222,10 +235,10 @@ def characterize_vendor(vendor: str, seed: int = 0) -> dict[str, str]:
         "pass" if priority.passes_algorithm1 else "fail"
     )
 
-    selfdep = probe_self_dependency(network, domain, path="/large/5.bin")
+    selfdep = probe_self_dependency(session, domain, path="/large/5.bin")
     cells["Self-dependent Stream"] = _reaction_cell(selfdep)
 
-    hpack = probe_hpack(network, domain, path="/")
+    hpack = probe_hpack(session, domain, path="/")
     if hpack.ratio is None:
         cells["Header Compression"] = "no support"
     elif hpack.ratio >= 0.95:
@@ -233,7 +246,7 @@ def characterize_vendor(vendor: str, seed: int = 0) -> dict[str, str]:
     else:
         cells["Header Compression"] = "support"
 
-    ping = probe_ping(network, domain, samples=1)
+    ping = probe_ping(session, domain, samples=1)
     cells["HTTP/2 PING"] = "support" if ping.ping_supported else "no support"
     return cells
 
@@ -249,9 +262,71 @@ def _reaction_cell(reaction: ErrorReaction | None) -> str:
     }[reaction]
 
 
-def run(seed: int = 0) -> ExperimentResult:
-    """Reproduce Table III and diff it against the paper."""
-    measured = {vendor: characterize_vendor(vendor, seed=seed) for vendor in VENDORS}
+def characterize_vendor_socket(
+    vendor: str, bridge, timeout_scale: float = 0.15
+) -> dict[str, str]:
+    """Table III column for one vendor probed over real loopback sockets.
+
+    ``bridge`` is a :class:`~repro.servers.loopback.LoopbackBridge`
+    already serving ``{vendor}.testbed``.  Runs the same
+    :func:`matrix_cells` suite as the simulated path, just over a
+    :class:`~repro.net.socket_backend.SocketBackend` with wall-clock
+    deadlines (``timeout_scale`` shrinks the simulation-tuned probe
+    timeouts to loopback-appropriate waits).
+    """
+    from repro.net.socket_backend import SocketBackend
+    from repro.scope.session import ProbeSession
+
+    backend = SocketBackend(
+        resolver=bridge.resolver(), timeout_scale=timeout_scale
+    )
+    try:
+        return matrix_cells(ProbeSession(backend), f"{vendor}.testbed")
+    finally:
+        backend.close()
+
+
+def _measure_socket(seed: int, timeout_scale: float) -> dict[str, dict[str, str]]:
+    """Serve all six vendors on a loopback bridge and probe them."""
+    from repro.servers.loopback import LoopbackBridge
+    from repro.servers.vendors import VENDOR_FACTORIES
+    from repro.servers.website import testbed_website
+
+    with LoopbackBridge(seed=seed) as bridge:
+        for vendor in VENDORS:
+            bridge.serve(
+                Site(
+                    domain=f"{vendor}.testbed",
+                    profile=VENDOR_FACTORIES[vendor](),
+                    website=testbed_website(),
+                )
+            )
+        return {
+            vendor: characterize_vendor_socket(
+                vendor, bridge, timeout_scale=timeout_scale
+            )
+            for vendor in VENDORS
+        }
+
+
+def run(
+    seed: int = 0, backend: str = "sim", timeout_scale: float = 0.15
+) -> ExperimentResult:
+    """Reproduce Table III and diff it against the paper.
+
+    ``backend="socket"`` runs the probes over real loopback TCP sockets
+    (each vendor engine served by :class:`~repro.servers.loopback.
+    LoopbackBridge`) instead of inside the simulator; the cells must
+    come out identical either way.
+    """
+    if backend == "socket":
+        measured = _measure_socket(seed, timeout_scale)
+    elif backend == "sim":
+        measured = {
+            vendor: characterize_vendor(vendor, seed=seed) for vendor in VENDORS
+        }
+    else:
+        raise ValueError(f"unknown backend {backend!r} (expected sim or socket)")
 
     rows = []
     mismatches: list[tuple[str, str, str, str]] = []

@@ -179,6 +179,15 @@ class Simulation:
                 return True
         raise RuntimeError(f"simulation exceeded {max_events} events")
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest live event, or None when idle.
+
+        Public peek used by drivers that pace the virtual clock against
+        an external one (the loopback bridge maps virtual delays onto
+        asyncio timers); does not advance time or run anything.
+        """
+        return self._peek_time()
+
     def _peek_time(self) -> float | None:
         queue = self._queue
         while queue:

@@ -1,0 +1,237 @@
+"""Real-socket transport backend over asyncio TCP.
+
+Implements the :class:`repro.net.backend.TransportBackend` contract
+against the operating system's TCP stack with wall-clock deadlines.
+The probe driver stays synchronous: the backend owns a private asyncio
+event loop and drives it from :meth:`run_until`, so from the probes'
+point of view a socket connection behaves exactly like a simulated one
+— bytes arrive through ``on_data`` callbacks while the client is
+blocked inside a wait.
+
+Time is the loop's monotonic clock.  ``run_until`` polls the predicate
+between short loop slices; the granularity (:data:`POLL_INTERVAL`) is
+a latency/CPU trade-off, far below any probe timeout.
+
+Name resolution is pluggable so hermetic tests can map simulated
+domains onto loopback ports (see :class:`repro.servers.loopback`): a
+``resolver`` is either a ``{(domain, port): (host, port)}`` mapping or
+a callable returning such a pair (or ``None`` for "no such host").
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+from repro.net.backend import TransportBackend
+
+#: Seconds between predicate evaluations while the loop runs.
+POLL_INTERVAL = 0.005
+
+
+class SocketEndpoint:
+    """Client end of a real TCP connection, duck-typing ``Endpoint``."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.on_data: Callable[[bytes], None] | None = None
+        self.on_close: Callable[[], None] | None = None
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._recv_buffer = bytearray()
+        self._transport: asyncio.Transport | None = None
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionError(f"{self.label}: send on closed connection")
+        if not data:
+            return
+        assert self._transport is not None
+        self.bytes_sent += len(data)
+        self._transport.write(data)
+
+    # -- receiving (called from the protocol, inside the loop) -------------
+
+    def _feed(self, data: bytes) -> None:
+        self.bytes_received += len(data)
+        if self.on_data is not None:
+            self.on_data(data)
+        else:
+            self._recv_buffer.extend(data)
+
+    def drain(self) -> bytes:
+        data = bytes(self._recv_buffer)
+        self._recv_buffer.clear()
+        return data
+
+    # -- closing ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._transport is not None:
+            self._transport.close()
+
+    def _peer_closed(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.on_close is not None:
+            self.on_close()
+
+
+class _ClientProtocol(asyncio.Protocol):
+    """Feeds a :class:`SocketEndpoint` from the asyncio loop."""
+
+    def __init__(self, endpoint: SocketEndpoint):
+        self.endpoint = endpoint
+
+    def connection_made(self, transport) -> None:
+        self.endpoint._transport = transport
+
+    def data_received(self, data: bytes) -> None:
+        self.endpoint._feed(data)
+
+    def connection_lost(self, exc) -> None:
+        self.endpoint._peer_closed()
+
+
+class SocketConnectAttempt:
+    """Pending real TCP connect; same observable surface as simulated."""
+
+    def __init__(self, backend: "SocketBackend"):
+        self._backend = backend
+        self.established = False
+        self.refused = False
+        self.endpoint: SocketEndpoint | None = None
+        self.started_at = backend.now
+        self.completed_at: float | None = None
+        self.on_connect: Callable[[SocketEndpoint], None] | None = None
+
+    @property
+    def handshake_rtt(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def _complete(self, endpoint: SocketEndpoint | None) -> None:
+        self.completed_at = self._backend.now
+        if endpoint is None:
+            self.refused = True
+        else:
+            self.established = True
+            self.endpoint = endpoint
+            if self.on_connect is not None:
+                self.on_connect(endpoint)
+
+
+class SocketBackend(TransportBackend):
+    """Wall-clock transport over asyncio TCP sockets."""
+
+    def __init__(
+        self,
+        resolver=None,
+        timeout_scale: float = 1.0,
+        connect_timeout: float = 10.0,
+    ):
+        self.timeout_scale = timeout_scale
+        self.connect_timeout = connect_timeout
+        self._resolver = resolver
+        self._loop = asyncio.new_event_loop()
+        self._endpoints: list[SocketEndpoint] = []
+        self._closed = False
+        #: Per-attempt probing policy slot (see resilience layer).
+        self.probe_policy = None
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(self, domain: str, port: int) -> tuple[str, int] | None:
+        """Map a probe-level (domain, port) to a socket address."""
+        resolver = self._resolver
+        if resolver is None:
+            return (domain, port)
+        if callable(resolver):
+            return resolver(domain, port)
+        return resolver.get((domain, port))
+
+    # -- connections ------------------------------------------------------
+
+    def connect(self, domain: str, port: int) -> SocketConnectAttempt:
+        attempt = SocketConnectAttempt(self)
+        address = self.resolve(domain, port)
+        if address is None:
+            # No such host: resolve to refusal on the next loop slice so
+            # callers still go through their normal wait.
+            self._loop.call_soon(attempt._complete, None)
+            return attempt
+
+        endpoint = SocketEndpoint(f"client->{domain}:{port}")
+
+        async def _establish() -> None:
+            host, real_port = address
+            try:
+                await asyncio.wait_for(
+                    self._loop.create_connection(
+                        lambda: _ClientProtocol(endpoint), host, real_port
+                    ),
+                    timeout=self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError):
+                attempt._complete(None)
+                return
+            self._endpoints.append(endpoint)
+            attempt._complete(endpoint)
+
+        self._loop.create_task(_establish())
+        return attempt
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._loop.time()
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        if predicate():
+            return True
+        deadline = self._loop.time() + timeout
+
+        async def _wait() -> bool:
+            while True:
+                if predicate():
+                    return True
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    return predicate()
+                await asyncio.sleep(min(POLL_INTERVAL, remaining))
+
+        return self._loop.run_until_complete(_wait())
+
+    def sleep_until(self, when: float) -> None:
+        delay = when - self._loop.time()
+        if delay > 0:
+            self._loop.run_until_complete(asyncio.sleep(delay))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for endpoint in self._endpoints:
+            endpoint.close()
+        # One final slice lets transports flush their close handshakes
+        # and cancels anything still pending.
+        pending = [t for t in asyncio.all_tasks(self._loop) if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()

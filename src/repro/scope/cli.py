@@ -21,9 +21,208 @@ import sys
 def _cmd_testbed(args: argparse.Namespace) -> int:
     from repro.experiments import table3
 
-    result = table3.run(seed=args.seed)
+    result = table3.run(seed=args.seed, backend=args.backend)
     print(result.text)
     return 0 if not result.data["mismatches"] else 1
+
+
+def _parse_host_port(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _render_probe_report(report) -> str:
+    """Compact human summary of one SiteReport."""
+    lines = [f"{report.domain}:"]
+    neg = report.negotiation
+    lines.append(
+        f"  negotiation: tcp={neg.tcp_connected} alpn_h2={neg.alpn_h2} "
+        f"npn_h2={neg.npn_h2} h2c={neg.h2c_upgrade} "
+        f"server={neg.server_header!r}"
+    )
+    if report.settings.settings_frame_received:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.settings.announced.items())
+        )
+        lines.append(f"  settings: {pairs or '(empty frame)'}")
+    fc = report.flow_control
+    if fc.tiny_window is not None:
+        lines.append(
+            f"  flow control: tiny_window={fc.tiny_window.name} "
+            f"first_data={fc.first_data_size} "
+            f"headers_with_zero_window={fc.headers_with_zero_window}"
+        )
+        def _name(reaction):
+            return reaction.name if reaction is not None else "no-response"
+        lines.append(
+            f"    zero update: stream={_name(fc.zero_update_stream)} "
+            f"connection={_name(fc.zero_update_connection)}; "
+            f"large update: stream={_name(fc.large_update_stream)} "
+            f"connection={_name(fc.large_update_connection)}"
+        )
+    if report.push.push_received or report.push.promised_paths:
+        lines.append(f"  push: promised={report.push.promised_paths}")
+    if report.hpack.ratio is not None:
+        lines.append(
+            f"  hpack: ratio={report.hpack.ratio:.3f} "
+            f"over {report.hpack.requests} requests"
+        )
+    ping = report.ping
+    if ping.ping_supported or ping.h2_ping_rtt is not None:
+        lines.append(
+            f"  ping: supported={ping.ping_supported} "
+            f"h2_rtt={ping.h2_ping_rtt} tcp_rtt={ping.tcp_rtt}"
+        )
+    for error in report.errors:
+        lines.append(f"  error: {error.probe}: {error.message}")
+    return "\n".join(lines)
+
+
+#: Probes `h2scope probe` runs by default: everything except priority,
+#: whose Algorithm-1 objects (/prio/*.bin) only exist on generated
+#: population sites.
+DEFAULT_PROBE_INCLUDE = "negotiation,settings,flow_control,push,hpack,ping"
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    """Probe one target over a chosen transport backend.
+
+    ``--backend sim`` deploys a vendor engine in a fresh simulation;
+    ``--backend socket`` opens real TCP connections — to ``--target``
+    (and ``--clear-target`` for the h2c path), or straight to the
+    domain's real address when no target mapping is given.
+    """
+    from repro.scope.scanner import ALL_PROBES, probe_target
+    from repro.scope.session import ProbeSession
+    from repro.scope.trace import TraceRecorder
+
+    include = {p.strip() for p in args.include.split(",") if p.strip()}
+    unknown = include - ALL_PROBES
+    if unknown:
+        print(
+            f"unknown probes: {', '.join(sorted(unknown))} "
+            f"(choose from {', '.join(sorted(ALL_PROBES))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.backend == "sim":
+        from repro.net.clock import Simulation
+        from repro.net.transport import Network
+        from repro.servers.site import Site, deploy_site
+        from repro.servers.vendors import VENDOR_FACTORIES
+        from repro.servers.website import testbed_website
+
+        if args.vendor is None:
+            print("--backend sim requires --vendor", file=sys.stderr)
+            return 2
+        if args.vendor not in VENDOR_FACTORIES:
+            print(f"unknown vendor {args.vendor!r}", file=sys.stderr)
+            return 2
+        sim = Simulation()
+        network = Network(sim, seed=args.seed)
+        site = Site(
+            domain=args.domain,
+            profile=VENDOR_FACTORIES[args.vendor](),
+            website=testbed_website(),
+        )
+        deploy_site(network, site)
+        backend = network
+    else:
+        from repro.net.socket_backend import SocketBackend
+
+        resolver = None
+        if args.target is not None:
+            try:
+                mapping = {(args.domain, 443): _parse_host_port(args.target)}
+                if args.clear_target is not None:
+                    mapping[(args.domain, 80)] = _parse_host_port(
+                        args.clear_target
+                    )
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            resolver = mapping
+        backend = SocketBackend(
+            resolver=resolver, timeout_scale=args.timeout_scale
+        )
+
+    trace = TraceRecorder()
+    session = ProbeSession(backend, trace=trace)
+    try:
+        report = probe_target(session, args.domain, include=include)
+    finally:
+        if args.backend == "socket":
+            backend.close()
+
+    print(_render_probe_report(report))
+    if args.db is not None:
+        from repro.scope.storage import ReportStore
+
+        with ReportStore(args.db) as store:
+            store.save(args.campaign, report)
+            store.save_traces(args.campaign, args.domain, trace.traces)
+        frames = sum(len(t) for t in trace.traces.values())
+        print(
+            f"stored report + {len(trace.traces)} probe traces "
+            f"({frames} frames) under campaign {args.campaign!r} in {args.db}"
+        )
+    return 0 if not report.failed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render stored per-frame timelines for one scanned site."""
+    import sqlite3
+
+    from repro.scope.storage import ReportStore, SchemaVersionError
+    from repro.scope.trace import render_trace
+
+    try:
+        store = ReportStore(args.db)
+    except (SchemaVersionError, sqlite3.DatabaseError) as exc:
+        print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        campaign = args.campaign
+        if campaign is None:
+            campaigns = store.campaigns()
+            if len(campaigns) == 1:
+                campaign = campaigns[0]
+            else:
+                print(
+                    f"--campaign required ({args.db} holds "
+                    f"{', '.join(campaigns) or 'no campaigns'})",
+                    file=sys.stderr,
+                )
+                return 2
+        probes = store.trace_probes(campaign, args.domain)
+        if not probes:
+            print(
+                f"no traces stored for {args.domain!r} in campaign "
+                f"{campaign!r}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.probe is not None:
+            if args.probe not in probes:
+                print(
+                    f"no {args.probe!r} trace for {args.domain!r} "
+                    f"(stored: {', '.join(probes)})",
+                    file=sys.stderr,
+                )
+                return 1
+            probes = [args.probe]
+        for probe in probes:
+            timeline = store.load_trace(campaign, args.domain, probe)
+            print(f"== {args.domain} :: {probe} ({len(timeline)} frames)")
+            output = render_trace(timeline)
+            if output:
+                print(output, end="")
+            else:
+                print("(no frames received)")
+    return 0
 
 
 def _resume_command(args: argparse.Namespace) -> str:
@@ -440,7 +639,86 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     testbed = sub.add_parser("testbed", help="Table III: six-vendor feature matrix")
+    testbed.add_argument(
+        "--backend",
+        choices=("sim", "socket"),
+        default="sim",
+        help="probe inside the simulator (default) or over real loopback "
+        "TCP sockets served by the bridge; cells must match either way",
+    )
     testbed.set_defaults(func=_cmd_testbed)
+
+    probe = sub.add_parser(
+        "probe",
+        help="probe one target over a chosen transport backend",
+    )
+    probe.add_argument("domain", help="domain to probe (SNI / Host header)")
+    probe.add_argument(
+        "--backend",
+        choices=("sim", "socket"),
+        default="sim",
+        help="sim: deploy --vendor in a fresh simulation; socket: real "
+        "TCP to --target (or the domain's real address)",
+    )
+    probe.add_argument(
+        "--vendor",
+        default=None,
+        help="vendor profile for --backend sim "
+        "(nginx, litespeed, h2o, nghttpd, tengine, apache)",
+    )
+    probe.add_argument(
+        "--target",
+        default=None,
+        metavar="HOST:PORT",
+        help="socket backend: address serving the TLS-side listener "
+        "(defaults to the domain itself on port 443)",
+    )
+    probe.add_argument(
+        "--clear-target",
+        default=None,
+        metavar="HOST:PORT",
+        help="socket backend: cleartext listener for the h2c upgrade path",
+    )
+    probe.add_argument(
+        "--include",
+        default=DEFAULT_PROBE_INCLUDE,
+        help=f"comma-separated probe list (default {DEFAULT_PROBE_INCLUDE})",
+    )
+    probe.add_argument(
+        "--timeout-scale",
+        type=float,
+        default=0.15,
+        help="socket backend: multiplier shrinking the simulation-tuned "
+        "probe timeouts to wall-clock waits (default 0.15)",
+    )
+    probe.add_argument(
+        "--db",
+        default=None,
+        help="store the report plus per-probe frame traces here "
+        "(render them later with 'h2scope trace')",
+    )
+    probe.add_argument(
+        "--campaign",
+        default="probe",
+        help="campaign name for --db rows (default 'probe')",
+    )
+    probe.set_defaults(func=_cmd_probe)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render stored per-frame timelines for one scanned site",
+    )
+    trace.add_argument("db", help="SQLite database written with traces")
+    trace.add_argument("domain", help="site whose traces to render")
+    trace.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign name (optional when the database holds exactly one)",
+    )
+    trace.add_argument(
+        "--probe", default=None, help="render only this probe's timeline"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     scan = sub.add_parser("scan", help="population scan summaries (§V-B..F)")
     scan.add_argument("--experiment", type=int, choices=(1, 2), default=1)

@@ -8,6 +8,14 @@ frames).  Automatic window replenishment is off by default: most probes
 need full manual control of flow-control windows (Algorithm 1 depends
 on deliberately exhausting the connection window).
 
+The client is a sans-IO driver: all transport and clock access goes
+through a :class:`~repro.net.backend.TransportBackend`, so the same
+probe logic runs against the discrete-event simulator (the default,
+byte-identical to the pre-abstraction behavior) and against real
+asyncio TCP sockets with wall-clock deadlines.  For backward
+compatibility the constructor still accepts a plain simulated
+``Network`` and exposes ``.network`` / ``.sim`` when one backs it.
+
 Every received event and frame is timestamped and logged; probes work
 from these logs.
 """
@@ -20,13 +28,18 @@ from repro.h2 import events as ev
 from repro.h2.connection import ConnectionConfig, H2Connection, Side
 from repro.h2.errors import H2Error
 from repro.h2.frames import Frame, PriorityData
+from repro.net.backend import as_backend
 from repro.net.tls import (
     H2,
     HTTP11,
     decode_server_hello,
     encode_client_hello,
 )
-from repro.net.transport import ConnectAttempt, Endpoint, Network
+
+# Probe modules compare negotiated protocols against these tokens; they
+# import them from here so the probe layer never touches repro.net.*
+# directly (enforced by tests/scope/test_probe_layering.py).
+__all__ = ["H2", "HTTP11", "ScopeClient", "TimedEvent", "TimedFrame", "DEFAULT_TIMEOUT"]
 from repro.scope.resilience import (
     ConnectionRefusedFault,
     ConnectionResetFault,
@@ -35,7 +48,7 @@ from repro.scope.resilience import (
     TlsFault,
 )
 
-#: Default virtual-time budget for waiting on a server reaction.
+#: Default budget (backend clock-seconds) for a server-reaction wait.
 DEFAULT_TIMEOUT = 8.0
 
 
@@ -68,7 +81,7 @@ class ScopeClient:
 
     def __init__(
         self,
-        network: Network,
+        network,
         domain: str,
         port: int = 443,
         alpn: list[str] | None = None,
@@ -77,9 +90,13 @@ class ScopeClient:
         settings: dict[int, int] | None = None,
         auto_window_update: bool = False,
         enable_push: bool | None = None,
+        trace=None,
     ):
-        self.network = network
-        self.sim = network.sim
+        # ``network`` is a TransportBackend or a simulated Network.
+        self.backend = as_backend(network)
+        # Simulated-backend conveniences (None on wall-clock backends).
+        self.network = getattr(self.backend, "network", None)
+        self.sim = getattr(self.backend, "sim", None)
         self.domain = domain
         self.port = port
         self.alpn = [H2, HTTP11] if alpn is None else alpn
@@ -92,14 +109,21 @@ class ScopeClient:
             self.initial_settings[2] = int(enable_push)
         self.auto_window_update = auto_window_update
 
-        self.endpoint: Endpoint | None = None
+        self.endpoint = None  # duck-typed transport Endpoint
         self.conn: H2Connection | None = None
+        self._trace = trace
         self.tls = TlsOutcome()
         self.events: list[TimedEvent] = []
         self.frames: list[TimedFrame] = []
         self.errors: list[str] = []
         self._hello_buffer = b""
         self._mode = "idle"
+        #: Bytes that arrived between hello completion and the protocol
+        #: engine attaching.  The simulator never hits this window (no
+        #: time passes between the two), but a real TCP stack may
+        #: coalesce the server hello with the first protocol bytes into
+        #: one segment; they are replayed when the mode settles.
+        self._limbo_buffer = bytearray()
         self._raw_http1 = bytearray()
         self._http1_response_at: float | None = None
         #: Set when the *peer* closed the connection (reset/truncation).
@@ -111,18 +135,39 @@ class ScopeClient:
 
     def _policy(self) -> ProbePolicy | None:
         """The per-attempt policy installed by the resilience layer."""
-        return getattr(self.network, "probe_policy", None)
+        return getattr(self.backend, "probe_policy", None)
 
-    def _budget(self, timeout: float, what: str) -> float:
+    def _clamp(self, timeout: float, what: str) -> float:
         """Clamp a wait to the policy deadline (raising once spent)."""
         policy = self._policy()
         if policy is not None and policy.deadline is not None:
             return policy.deadline.clamp(timeout, what=f"{self.domain}: {what}")
         return timeout
 
+    def _budget(self, timeout: float, what: str) -> float:
+        """Scale a probe-level timeout to the backend, then clamp it."""
+        return self._clamp(self.backend.scale(timeout), what)
+
     def _raise_faults(self) -> bool:
         policy = self._policy()
         return policy is not None and policy.raise_faults
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current backend clock reading (virtual or wall seconds)."""
+        return self.backend.now
+
+    def sleep(self, seconds: float) -> None:
+        """Let ``seconds`` probe-level seconds elapse (backend-scaled)."""
+        self.backend.sleep(self.backend.scale(seconds))
+
+    def _wait(self, predicate, timeout: float) -> bool:
+        """Advance the backend until ``predicate()`` or ``timeout``."""
+        return self.backend.run_until(predicate, timeout)
 
     # ------------------------------------------------------------------
     # Connection establishment
@@ -130,10 +175,10 @@ class ScopeClient:
 
     def connect(self, timeout: float = DEFAULT_TIMEOUT) -> bool:
         """TCP connect; returns success and records the handshake RTT."""
-        attempt: ConnectAttempt = self.network.connect(self.domain, self.port)
-        self.sim.run_until(
+        attempt = self.backend.connect(self.domain, self.port)
+        self._wait(
             lambda: attempt.established or attempt.refused,
-            timeout=self._budget(timeout, "tcp connect"),
+            self._budget(timeout, "tcp connect"),
         )
         if not attempt.established:
             if self._raise_faults():
@@ -153,9 +198,9 @@ class ScopeClient:
         assert self.endpoint is not None, "connect() first"
         self._mode = "hello"
         self.endpoint.send(encode_client_hello(self.alpn, self.offer_npn))
-        self.sim.run_until(
+        self._wait(
             lambda: self._mode != "hello",
-            timeout=self._budget(timeout, "tls hello"),
+            self._budget(timeout, "tls hello"),
         )
         if self._raise_faults():
             if self._mode == "reset":
@@ -201,6 +246,14 @@ class ScopeClient:
         self._mode = "h2"
         self.conn.initiate()
         self.flush()
+        self._replay_limbo()
+
+    def _replay_limbo(self) -> None:
+        """Feed bytes that arrived before the current mode was entered."""
+        if self._limbo_buffer:
+            data = bytes(self._limbo_buffer)
+            self._limbo_buffer.clear()
+            self._on_data(data)
 
     # ------------------------------------------------------------------
     # Inbound
@@ -219,8 +272,11 @@ class ScopeClient:
             return
         if self._mode == "http1":
             if not self._raw_http1:
-                self._http1_response_at = self.sim.now
+                self._http1_response_at = self.backend.now
             self._raw_http1.extend(data)
+            return
+        if self._mode == "negotiated":
+            self._limbo_buffer.extend(data)
             return
         if self._mode != "h2" or self.conn is None:
             return
@@ -230,9 +286,11 @@ class ScopeClient:
         except H2Error as exc:
             self.errors.append(f"{type(exc).__name__}: {exc}")
             produced = []
-        now = self.sim.now
+        now = self.backend.now
         for frame in self.conn.frame_log[frame_count:]:
             self.frames.append(TimedFrame(at=now, frame=frame))
+            if self._trace is not None:
+                self._trace.record(now, frame)
         for event in produced:
             self.events.append(TimedEvent(at=now, event=event))
         self.flush()
@@ -334,24 +392,23 @@ class ScopeClient:
     # ------------------------------------------------------------------
 
     def wait_for(self, predicate, timeout: float = DEFAULT_TIMEOUT) -> bool:
-        """Advance virtual time until ``predicate()`` or timeout.
+        """Advance the backend clock until ``predicate()`` or timeout.
 
         Under a resilience policy the wait is additionally bounded by
         the per-attempt deadline; :class:`DeadlineExceeded` is raised
         once the budget is spent.
         """
-        return self.sim.run_until(
-            predicate, timeout=self._budget(timeout, "wait")
-        )
+        return self._wait(predicate, self._budget(timeout, "wait"))
 
     def settle(self, quiet_period: float = 1.0, timeout: float = 30.0) -> None:
         """Run until no new events arrive for ``quiet_period`` seconds."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
+        quiet = self.backend.scale(quiet_period)
+        deadline = self.backend.now + self.backend.scale(timeout)
+        while self.backend.now < deadline:
             count = len(self.events)
-            self.wait_for(
+            self._wait(
                 lambda: len(self.events) > count,
-                timeout=min(quiet_period, deadline - self.sim.now),
+                self._clamp(min(quiet, deadline - self.backend.now), "wait"),
             )
             if len(self.events) == count:
                 return
@@ -411,6 +468,7 @@ class ScopeClient:
 
         self._mode = "http1"
         self._raw_http1.clear()
+        self._replay_limbo()
         self.endpoint.send(
             (
                 f"GET {path} HTTP/1.1\r\n"
@@ -420,9 +478,9 @@ class ScopeClient:
                 f"HTTP2-Settings: {token}\r\n\r\n"
             ).encode()
         )
-        self.sim.run_until(
+        self._wait(
             lambda: b"\r\n\r\n" in bytes(self._raw_http1),
-            timeout=self._budget(timeout, "h2c upgrade"),
+            self._budget(timeout, "h2c upgrade"),
         )
         raw = bytes(self._raw_http1)
         head, _, rest = raw.partition(b"\r\n\r\n")
@@ -441,14 +499,15 @@ class ScopeClient:
         assert self.endpoint is not None
         self._mode = "http1"
         self._raw_http1.clear()
+        self._replay_limbo()
         self._http1_response_at = None
-        start = self.sim.now
+        start = self.backend.now
         self.endpoint.send(
             f"GET {path} HTTP/1.1\r\nHost: {self.domain}\r\n\r\n".encode()
         )
-        self.sim.run_until(
+        self._wait(
             lambda: self._http1_response_at is not None,
-            timeout=self._budget(timeout, "http/1.1 response"),
+            self._budget(timeout, "http/1.1 response"),
         )
         if self._http1_response_at is None:
             return None

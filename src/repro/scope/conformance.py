@@ -21,8 +21,6 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.h2 import events as ev
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
 from repro.scope.probes import (
     probe_large_window_update,
     probe_multiplexing,
@@ -34,6 +32,7 @@ from repro.scope.probes import (
     probe_zero_window_update,
 )
 from repro.scope.report import ErrorReaction, TinyWindowResult
+from repro.scope.session import ProbeSession, as_session
 
 
 class Level(enum.Enum):
@@ -108,27 +107,27 @@ class _Check:
     section: str
     level: Level
     description: str
-    run: Callable[[Network, str, dict], tuple[Verdict, str]]
+    run: Callable[["ProbeSession", str, dict], tuple[Verdict, str]]
 
 
-def _check_alpn(network, domain, ctx):
-    negotiation = probe_negotiation(network, domain)
+def _check_alpn(session, domain, ctx):
+    negotiation = probe_negotiation(session, domain)
     ctx["negotiation"] = negotiation
     if negotiation.alpn_h2:
         return Verdict.PASS, "h2 selected via ALPN"
     return Verdict.FAIL, "server did not negotiate h2 via ALPN"
 
 
-def _check_settings_frame(network, domain, ctx):
-    settings = probe_settings(network, domain)
+def _check_settings_frame(session, domain, ctx):
+    settings = probe_settings(session, domain)
     ctx["settings"] = settings
     if settings.settings_frame_received:
         return Verdict.PASS, f"announced {len(settings.announced)} parameters"
     return Verdict.FAIL, "no SETTINGS frame after the connection preface"
 
 
-def _check_settings_ack(network, domain, ctx):
-    client = ScopeClient(network, domain)
+def _check_settings_ack(session, domain, ctx):
+    client = session.client(domain)
     try:
         if not client.establish_h2():
             return Verdict.SKIP, "h2 not established"
@@ -145,8 +144,8 @@ def _check_settings_ack(network, domain, ctx):
         client.close()
 
 
-def _check_ping_echo(network, domain, ctx):
-    client = ScopeClient(network, domain)
+def _check_ping_echo(session, domain, ctx):
+    client = session.client(domain)
     try:
         if not client.establish_h2():
             return Verdict.SKIP, "h2 not established"
@@ -172,17 +171,17 @@ def _check_ping_echo(network, domain, ctx):
         client.close()
 
 
-def _check_flow_control_data(network, domain, ctx):
+def _check_flow_control_data(session, domain, ctx):
     path = ctx.get("large_path", "/big.bin")
-    category, size, _ = probe_tiny_window(network, domain, sframe=64, path=path)
+    category, size, _ = probe_tiny_window(session, domain, sframe=64, path=path)
     if category is TinyWindowResult.WINDOW_SIZED_DATA and size == 64:
         return Verdict.PASS, "DATA frames sized to the announced window"
     return Verdict.FAIL, f"observed {category.value} (first size {size})"
 
 
-def _check_headers_not_flow_controlled(network, domain, ctx):
+def _check_headers_not_flow_controlled(session, domain, ctx):
     compliant = probe_zero_window_headers(
-        network, domain, path=ctx.get("large_path", "/big.bin")
+        session, domain, path=ctx.get("large_path", "/big.bin")
     )
     if compliant is None:
         return Verdict.SKIP, "h2 not established"
@@ -191,18 +190,18 @@ def _check_headers_not_flow_controlled(network, domain, ctx):
     return Verdict.FAIL, "HEADERS withheld behind flow control"
 
 
-def _check_zero_window_update(network, domain, ctx):
+def _check_zero_window_update(session, domain, ctx):
     reaction, _ = probe_zero_window_update(
-        network, domain, level="stream", path=ctx.get("large_path", "/big.bin")
+        session, domain, level="stream", path=ctx.get("large_path", "/big.bin")
     )
     if reaction is ErrorReaction.RST_STREAM:
         return Verdict.PASS, "zero increment answered with RST_STREAM"
     return Verdict.FAIL, f"zero increment answered with {reaction.value}"
 
 
-def _check_window_overflow_stream(network, domain, ctx):
+def _check_window_overflow_stream(session, domain, ctx):
     reaction = probe_large_window_update(
-        network, domain, level="stream", path=ctx.get("large_path", "/big.bin")
+        session, domain, level="stream", path=ctx.get("large_path", "/big.bin")
     )
     if reaction is ErrorReaction.RST_STREAM:
         return Verdict.PASS, "overflow terminated the stream"
@@ -211,26 +210,26 @@ def _check_window_overflow_stream(network, domain, ctx):
     return Verdict.FAIL, "window overflow went unanswered"
 
 
-def _check_window_overflow_connection(network, domain, ctx):
+def _check_window_overflow_connection(session, domain, ctx):
     reaction = probe_large_window_update(
-        network, domain, level="connection", path=ctx.get("large_path", "/big.bin")
+        session, domain, level="connection", path=ctx.get("large_path", "/big.bin")
     )
     if reaction is ErrorReaction.GOAWAY:
         return Verdict.PASS, "connection overflow answered with GOAWAY"
     return Verdict.FAIL, f"connection overflow answered with {reaction.value}"
 
 
-def _check_self_dependency(network, domain, ctx):
+def _check_self_dependency(session, domain, ctx):
     reaction = probe_self_dependency(
-        network, domain, path=ctx.get("large_path", "/big.bin")
+        session, domain, path=ctx.get("large_path", "/big.bin")
     )
     if reaction is ErrorReaction.RST_STREAM:
         return Verdict.PASS, "self-dependency treated as a stream error"
     return Verdict.FAIL, f"self-dependency answered with {reaction.value}"
 
 
-def _check_max_concurrent_floor(network, domain, ctx):
-    settings = ctx.get("settings") or probe_settings(network, domain)
+def _check_max_concurrent_floor(session, domain, ctx):
+    settings = ctx.get("settings") or probe_settings(session, domain)
     value = settings.announced.get(3)
     if not settings.settings_frame_received:
         return Verdict.SKIP, "no SETTINGS frame"
@@ -241,11 +240,11 @@ def _check_max_concurrent_floor(network, domain, ctx):
     return Verdict.FAIL, f"announced {value} (< the recommended 100)"
 
 
-def _check_multiplexing(network, domain, ctx):
+def _check_multiplexing(session, domain, ctx):
     paths = ctx.get("multiplex_paths")
     if not paths:
         return Verdict.SKIP, "no large objects available"
-    result = probe_multiplexing(network, domain, paths)
+    result = probe_multiplexing(session, domain, paths)
     if result.interleaved:
         return Verdict.PASS, "responses interleaved across streams"
     return Verdict.FAIL, "responses strictly sequential"
@@ -285,17 +284,22 @@ CHECKS: list[_Check] = [
 
 
 def run_conformance(
-    network: Network,
+    target,
     domain: str,
     large_path: str = "/big.bin",
     multiplex_paths: list[str] | None = None,
 ) -> ConformanceReport:
-    """Run the whole check suite against one deployed site."""
+    """Run the whole check suite against one target.
+
+    ``target`` is a :class:`~repro.scope.session.ProbeSession`, a
+    transport backend, or a simulated ``Network``.
+    """
+    session = as_session(target)
     report = ConformanceReport(domain=domain)
     ctx: dict = {"large_path": large_path, "multiplex_paths": multiplex_paths}
     for check in CHECKS:
         try:
-            verdict, detail = check.run(network, domain, ctx)
+            verdict, detail = check.run(session, domain, ctx)
         except Exception as exc:  # noqa: BLE001 - a checker must not crash
             verdict, detail = Verdict.SKIP, f"{type(exc).__name__}: {exc}"
         report.results.append(

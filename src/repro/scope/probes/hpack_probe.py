@@ -15,20 +15,20 @@ analysis layer, exactly as the paper filters them from Figs. 4-5.
 
 from __future__ import annotations
 
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
 from repro.scope.report import HpackResult
+from repro.scope.session import as_session
 
 
 def probe_hpack(
-    network: Network,
+    session,
     domain: str,
     path: str = "/",
     repetitions: int = 8,
     timeout: float = 10.0,
 ) -> HpackResult:
+    session = as_session(session)
     result = HpackResult(requests=repetitions)
-    client = ScopeClient(network, domain, auto_window_update=True)
+    client = session.client(domain, auto_window_update=True)
     if not client.establish_h2():
         client.close()
         return result

@@ -13,19 +13,19 @@ the caller supplies paths to large objects.
 from __future__ import annotations
 
 from repro.h2 import events as ev
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
 from repro.scope.report import MultiplexingResult
+from repro.scope.session import as_session
 
 
 def probe_multiplexing(
-    network: Network,
+    session,
     domain: str,
     paths: list[str],
     timeout: float = 120.0,
 ) -> MultiplexingResult:
+    session = as_session(session)
     result = MultiplexingResult(streams=len(paths))
-    client = ScopeClient(network, domain, auto_window_update=True)
+    client = session.client(domain, auto_window_update=True)
     if not client.establish_h2():
         client.close()
         return result

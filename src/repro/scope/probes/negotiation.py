@@ -11,21 +11,17 @@ populations) along with the ``server`` header used for Table IV.
 from __future__ import annotations
 
 from repro.h2 import events as ev
-from repro.net.tls import H2, HTTP11
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
+from repro.scope.client import H2, HTTP11
 from repro.scope.report import NegotiationResult
+from repro.scope.session import as_session
 
 
-def probe_negotiation(
-    network: Network, domain: str, timeout: float = 8.0
-) -> NegotiationResult:
+def probe_negotiation(session, domain: str, timeout: float = 8.0) -> NegotiationResult:
+    session = as_session(session)
     result = NegotiationResult()
 
     # -- ALPN-only handshake ------------------------------------------------
-    alpn_client = ScopeClient(
-        network, domain, alpn=[H2, HTTP11], offer_npn=False
-    )
+    alpn_client = session.client(domain, alpn=[H2, HTTP11], offer_npn=False)
     if not alpn_client.connect(timeout=timeout):
         return result
     result.tcp_connected = True
@@ -35,14 +31,14 @@ def probe_negotiation(
     alpn_client.close()
 
     # -- NPN-only handshake ----------------------------------------------------
-    npn_client = ScopeClient(network, domain, alpn=[], offer_npn=True)
+    npn_client = session.client(domain, alpn=[], offer_npn=True)
     if npn_client.connect(timeout=timeout):
         tls = npn_client.tls_handshake(timeout=timeout)
         result.npn_h2 = tls.npn_protocol == H2
     npn_client.close()
 
     # -- cleartext Upgrade: h2c (§IV-A's unencrypted path) -------------------
-    h2c_client = ScopeClient(network, domain, port=80)
+    h2c_client = session.client(domain, port=80)
     if h2c_client.connect(timeout=timeout):
         result.h2c_upgrade = h2c_client.upgrade_h2c("/", timeout=timeout)
     h2c_client.close()
@@ -50,7 +46,7 @@ def probe_negotiation(
     # -- fetch / over HTTP/2 ------------------------------------------------------
     if not (result.alpn_h2 or result.npn_h2):
         return result
-    fetch = ScopeClient(network, domain, auto_window_update=True)
+    fetch = session.client(domain, auto_window_update=True)
     if fetch.establish_h2(timeout=timeout):
         stream_id = fetch.request("/")
         fetch.wait_for(

@@ -14,29 +14,28 @@ Four estimators against the same target:
 from __future__ import annotations
 
 from repro.h2 import events as ev
-from repro.net.icmp import icmp_ping
-from repro.net.tls import HTTP11
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
+from repro.scope.client import HTTP11
 from repro.scope.report import PingResult
+from repro.scope.session import as_session
 
 
 def probe_ping(
-    network: Network,
+    session,
     domain: str,
     samples: int = 3,
     timeout: float = 8.0,
 ) -> PingResult:
+    session = as_session(session)
     result = PingResult()
 
     # -- HTTP/2 PING + TCP handshake RTT -----------------------------------
-    client = ScopeClient(network, domain)
+    client = session.client(domain)
     if client.establish_h2(timeout=timeout):
         result.tcp_rtt = client.tls.tcp_handshake_rtt
         rtts: list[float] = []
         for i in range(samples):
             payload = f"scope{i:03d}".encode()[:8].ljust(8, b"\x00")
-            start = client.sim.now
+            start = client.now
             client.send_ping(payload)
 
             def acked() -> bool:
@@ -60,11 +59,10 @@ def probe_ping(
     client.close()
 
     # -- ICMP ------------------------------------------------------------------
-    session = icmp_ping(network, domain, count=samples)
-    result.icmp_rtt = session.avg_rtt
+    result.icmp_rtt = session.icmp_rtt(domain, count=samples)
 
     # -- HTTP/1.1 request ---------------------------------------------------------
-    h1 = ScopeClient(network, domain, alpn=[HTTP11], offer_npn=False)
+    h1 = session.client(domain, alpn=[HTTP11], offer_npn=False)
     if h1.connect(timeout=timeout):
         tls = h1.tls_handshake(timeout=timeout)
         if tls.connected:

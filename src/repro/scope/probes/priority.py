@@ -29,9 +29,9 @@ from dataclasses import dataclass
 from repro.h2 import events as ev
 from repro.h2.constants import MAX_WINDOW_SIZE, SettingCode
 from repro.h2.frames import PriorityData
-from repro.net.transport import Network
 from repro.scope.client import ScopeClient
 from repro.scope.report import ErrorReaction, PriorityResult
+from repro.scope.session import as_session
 
 IWS = int(SettingCode.INITIAL_WINDOW_SIZE)
 
@@ -50,7 +50,7 @@ class _PlantedStream:
 
 
 def probe_priority(
-    network: Network,
+    session,
     domain: str,
     test_paths: list[str],
     depletion_paths: list[str],
@@ -62,13 +62,13 @@ def probe_priority(
     ``depletion_paths`` supplies objects used to drain the connection
     window in step 1.
     """
+    session = as_session(session)
     result = PriorityResult()
     if len(test_paths) < len(LABELS):
         raise ValueError(f"need {len(LABELS)} test paths, got {len(test_paths)}")
 
     # Step 1a: huge stream windows so only the connection window matters.
-    client = ScopeClient(
-        network,
+    client = session.client(
         domain,
         settings={IWS: MAX_WINDOW_SIZE},
         auto_window_update=False,
@@ -96,7 +96,7 @@ def probe_priority(
 
     # Give the server a moment to build the tree; record whether it
     # leaks HEADERS while the connection window is still zero.
-    client.sim.run(until=client.sim.now + 1.0)
+    client.sleep(1.0)
     planted_ids = set(sid.values())
     result.headers_while_blocked = any(
         te.event.stream_id in planted_ids
@@ -220,7 +220,7 @@ def _follows_rules(order: list[str]) -> bool:
 
 
 def probe_self_dependency(
-    network: Network,
+    session,
     domain: str,
     path: str = "/big.bin",
     timeout: float = 8.0,
@@ -230,7 +230,7 @@ def probe_self_dependency(
     RFC 7540 prescribes a stream error (RST_STREAM); Table III shows
     servers also answer GOAWAY or ignore it.
     """
-    client = ScopeClient(network, domain, settings={IWS: 1})
+    client = as_session(session).client(domain, settings={IWS: 1})
     if not client.establish_h2(timeout=timeout):
         client.close()
         return None

@@ -9,22 +9,20 @@ first experiment) and other URLs (nothing pushed).
 from __future__ import annotations
 
 from repro.h2 import events as ev
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
 from repro.scope.report import PushResult
+from repro.scope.session import as_session
 
 
 def probe_push(
-    network: Network,
+    session,
     domain: str,
     pages: list[str] | None = None,
     timeout: float = 20.0,
 ) -> PushResult:
+    session = as_session(session)
     result = PushResult()
     pages = pages or ["/"]
-    client = ScopeClient(
-        network, domain, enable_push=True, auto_window_update=True
-    )
+    client = session.client(domain, enable_push=True, auto_window_update=True)
     if not client.establish_h2():
         client.close()
         return result

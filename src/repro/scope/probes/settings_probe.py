@@ -8,16 +8,14 @@ parameters left unannounced fall into the "default"/"unlimited" rows.
 from __future__ import annotations
 
 from repro.h2 import events as ev
-from repro.net.transport import Network
-from repro.scope.client import ScopeClient
 from repro.scope.report import SettingsResult
+from repro.scope.session import as_session
 
 
-def probe_settings(
-    network: Network, domain: str, timeout: float = 8.0
-) -> SettingsResult:
+def probe_settings(session, domain: str, timeout: float = 8.0) -> SettingsResult:
+    session = as_session(session)
     result = SettingsResult()
-    client = ScopeClient(network, domain)
+    client = session.client(domain)
     if not client.establish_h2(timeout=timeout):
         client.close()
         return result

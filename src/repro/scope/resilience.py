@@ -1,14 +1,15 @@
-"""Virtual-time deadlines, failure classification and retry/backoff.
+"""Probe deadlines, failure classification and retry/backoff.
 
 H2Scope's real scans had to survive the internet: unreachable hosts,
 resets mid-handshake, servers that stall forever.  This module is the
 scanner-side half of the fault story (the injection half lives in
 :mod:`repro.net.faults`):
 
-* a :class:`Deadline` watchdog on the :class:`~repro.net.clock.
-  Simulation` clock, which :class:`~repro.scope.client.ScopeClient`
-  consults on every wait so a stalled peer cannot pin a probe past its
-  virtual-time budget;
+* a :class:`Deadline` watchdog anchored on whatever clock the active
+  transport backend exposes — the virtual :class:`~repro.net.clock.
+  Simulation` clock by default, a monotonic wall clock for the socket
+  backend — which :class:`~repro.scope.client.ScopeClient` consults on
+  every wait so a stalled peer cannot pin a probe past its budget;
 * a typed failure taxonomy (:class:`ScanFault` and subclasses) mapping
   onto :class:`~repro.scope.report.ErrorClass` — transient failures are
   retried, timeouts and fatal failures are not;
@@ -24,9 +25,8 @@ import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.net.clock import Simulation
+from repro.net.backend import as_backend
 from repro.net.faults import stable_seed
-from repro.net.transport import Network
 from repro.scope.report import ErrorClass, ScanError
 
 
@@ -88,15 +88,20 @@ def make_scan_error(
 
 
 class Deadline:
-    """A virtual-time budget anchored on the simulation clock."""
+    """A time budget anchored on a clock exposing ``.now`` in seconds.
 
-    def __init__(self, sim: Simulation, seconds: float):
-        self.sim = sim
-        self.at = sim.now + seconds
+    Works against the virtual :class:`~repro.net.clock.Simulation`
+    clock and against a wall-clock transport backend alike — the only
+    contract is a monotone ``now`` attribute or property.
+    """
+
+    def __init__(self, clock, seconds: float):
+        self.clock = clock
+        self.at = clock.now + seconds
 
     @property
     def remaining(self) -> float:
-        return self.at - self.sim.now
+        return self.at - self.clock.now
 
     @property
     def expired(self) -> bool:
@@ -147,7 +152,8 @@ class BackoffPolicy:
 class ResilienceConfig:
     """Knobs for resilient probe execution."""
 
-    #: Per-attempt virtual-time budget (seconds on the sim clock).
+    #: Per-attempt time budget in backend clock-seconds (virtual by
+    #: default; wall-clock backends apply their ``timeout_scale``).
     timeout: float = 20.0
     #: How many times a transient failure is retried.
     retries: int = 2
@@ -155,7 +161,7 @@ class ResilienceConfig:
 
 
 def run_resilient(
-    network: Network,
+    target,
     probe: str,
     fn: Callable[[], None],
     config: ResilienceConfig,
@@ -163,18 +169,19 @@ def run_resilient(
 ) -> tuple[int, ScanError | None]:
     """Run one probe under a deadline, retrying transient failures.
 
+    ``target`` is a transport backend or a simulated ``Network``.
     Returns ``(attempts, error)`` where ``error`` is None on success.
-    Backoff delays elapse on the *virtual* clock, so retries are free in
-    wall time and fully deterministic.
+    Backoff delays elapse on the backend's clock — on the simulated
+    backend retries are free in wall time and fully deterministic.
     """
-    sim = network.sim
+    backend = as_backend(target)
     rng = random.Random(stable_seed(seed, probe, "backoff"))
     attempts = 0
     try:
         while True:
             attempts += 1
-            network.probe_policy = ProbePolicy(
-                deadline=Deadline(sim, config.timeout)
+            backend.probe_policy = ProbePolicy(
+                deadline=Deadline(backend, backend.scale(config.timeout))
             )
             try:
                 fn()
@@ -184,6 +191,6 @@ def run_resilient(
                 if error_class is not ErrorClass.TRANSIENT or attempts > config.retries:
                     return attempts, make_scan_error(probe, exc, attempts)
                 delay = config.backoff.delay(attempts - 1, rng)
-                sim.run(until=sim.now + delay)
+                backend.sleep(backend.scale(delay))
     finally:
-        network.probe_policy = None
+        backend.probe_policy = None

@@ -45,6 +45,7 @@ from repro.scope.resilience import (
     make_scan_error,
     run_resilient,
 )
+from repro.scope.session import as_session
 from repro.scope.storage import ReportStore
 from repro.servers.site import Site, deploy_site
 
@@ -136,6 +137,134 @@ class ProgressAggregator:
         )
 
 
+def probe_target(
+    session,
+    domain: str,
+    include: Iterable[str] | None = None,
+    seed: int = 0,
+    priority_test_paths: list[str] | None = None,
+    priority_depletion_paths: list[str] | None = None,
+    resilience: ResilienceConfig | None = None,
+    known_paths=None,
+    report: SiteReport | None = None,
+) -> SiteReport:
+    """Run the probe suite against one target over any backend.
+
+    This is the backend-agnostic core of :func:`scan_site`: ``session``
+    is a :class:`~repro.scope.session.ProbeSession` (or anything
+    ``as_session`` accepts), so the same suite runs against a simulated
+    universe or a real server over sockets.  ``known_paths``, when
+    given, gates Algorithm 1 on the test objects actually existing on
+    the target (the population scanner passes the site's website); when
+    None the priority probe is attempted unconditionally.  If the
+    session carries a :class:`~repro.scope.trace.TraceRecorder`, each
+    probe's received frames are recorded under the probe's name.
+    """
+    include_set = _validate_include(include)
+    session = as_session(session)
+    if report is None:
+        report = SiteReport(domain=domain)
+
+    def guarded(name: str, fn: Callable[[], None]) -> None:
+        trace = session.trace
+        if trace is not None:
+            trace.begin(name)
+        try:
+            if resilience is None:
+                try:
+                    fn()
+                except Exception as exc:  # noqa: BLE001 - scans survive anything
+                    report.errors.append(make_scan_error(name, exc))
+                return
+            attempts, error = run_resilient(
+                session.backend, name, fn, resilience, seed=seed
+            )
+            report.probe_attempts[name] = attempts
+            if error is not None:
+                report.errors.append(error)
+        finally:
+            if trace is not None:
+                trace.end()
+
+    if "negotiation" in include_set:
+        guarded(
+            "negotiation",
+            lambda: setattr(
+                report, "negotiation", probe_negotiation(session, domain)
+            ),
+        )
+        if not report.speaks_h2:
+            return report
+
+    if "settings" in include_set:
+        guarded(
+            "settings",
+            lambda: setattr(report, "settings", probe_settings(session, domain)),
+        )
+
+    if "flow_control" in include_set:
+
+        def run_flow_control() -> None:
+            fc = report.flow_control
+            fc.tiny_window, fc.first_data_size, _ = probe_tiny_window(
+                session, domain, sframe=1
+            )
+            fc.headers_with_zero_window = probe_zero_window_headers(
+                session, domain
+            )
+            fc.zero_update_stream, fc.zero_update_debug_data = (
+                probe_zero_window_update(session, domain, level="stream")
+            )
+            fc.zero_update_connection, _ = probe_zero_window_update(
+                session, domain, level="connection"
+            )
+            fc.large_update_stream = probe_large_window_update(
+                session, domain, level="stream"
+            )
+            fc.large_update_connection = probe_large_window_update(
+                session, domain, level="connection"
+            )
+
+        guarded("flow_control", run_flow_control)
+
+    if "priority" in include_set:
+
+        def run_priority() -> None:
+            test_paths = priority_test_paths or PRIORITY_TEST_PATHS
+            depletion = priority_depletion_paths or PRIORITY_DEPLETION_PATHS
+            if known_paths is None or all(
+                path in known_paths for path in test_paths
+            ):
+                report.priority = probe_priority(
+                    session, domain, test_paths, depletion
+                )
+            report.priority.self_dependency = probe_self_dependency(
+                session, domain
+            )
+
+        guarded("priority", run_priority)
+
+    if "push" in include_set:
+        guarded(
+            "push",
+            lambda: setattr(report, "push", probe_push(session, domain)),
+        )
+
+    if "hpack" in include_set:
+        guarded(
+            "hpack",
+            lambda: setattr(report, "hpack", probe_hpack(session, domain)),
+        )
+
+    if "ping" in include_set:
+        guarded(
+            "ping",
+            lambda: setattr(report, "ping", probe_ping(session, domain)),
+        )
+
+    return report
+
+
 def scan_site(
     site: Site,
     include: Iterable[str] | None = None,
@@ -152,7 +281,7 @@ def scan_site(
     deadline and retries transient failures with exponential backoff.
     Without ``resilience`` the legacy single-shot semantics apply.
     """
-    include_set = _validate_include(include)
+    _validate_include(include)
 
     report = SiteReport(domain=site.domain)
     sim = Simulation()
@@ -165,93 +294,17 @@ def scan_site(
         report.scan_virtual_time = sim.now
         return report
 
-    def guarded(name: str, fn: Callable[[], None]) -> None:
-        if resilience is None:
-            try:
-                fn()
-            except Exception as exc:  # noqa: BLE001 - scans survive anything
-                report.errors.append(make_scan_error(name, exc))
-            return
-        attempts, error = run_resilient(network, name, fn, resilience, seed=seed)
-        report.probe_attempts[name] = attempts
-        if error is not None:
-            report.errors.append(error)
-
-    if "negotiation" in include_set:
-        guarded(
-            "negotiation",
-            lambda: setattr(
-                report, "negotiation", probe_negotiation(network, site.domain)
-            ),
-        )
-        if not report.speaks_h2:
-            report.scan_virtual_time = sim.now
-            return report
-
-    if "settings" in include_set:
-        guarded(
-            "settings",
-            lambda: setattr(report, "settings", probe_settings(network, site.domain)),
-        )
-
-    if "flow_control" in include_set:
-
-        def run_flow_control() -> None:
-            fc = report.flow_control
-            fc.tiny_window, fc.first_data_size, _ = probe_tiny_window(
-                network, site.domain, sframe=1
-            )
-            fc.headers_with_zero_window = probe_zero_window_headers(
-                network, site.domain
-            )
-            fc.zero_update_stream, fc.zero_update_debug_data = (
-                probe_zero_window_update(network, site.domain, level="stream")
-            )
-            fc.zero_update_connection, _ = probe_zero_window_update(
-                network, site.domain, level="connection"
-            )
-            fc.large_update_stream = probe_large_window_update(
-                network, site.domain, level="stream"
-            )
-            fc.large_update_connection = probe_large_window_update(
-                network, site.domain, level="connection"
-            )
-
-        guarded("flow_control", run_flow_control)
-
-    if "priority" in include_set:
-
-        def run_priority() -> None:
-            test_paths = priority_test_paths or PRIORITY_TEST_PATHS
-            depletion = priority_depletion_paths or PRIORITY_DEPLETION_PATHS
-            if all(path in site.website for path in test_paths):
-                report.priority = probe_priority(
-                    network, site.domain, test_paths, depletion
-                )
-            report.priority.self_dependency = probe_self_dependency(
-                network, site.domain
-            )
-
-        guarded("priority", run_priority)
-
-    if "push" in include_set:
-        guarded(
-            "push",
-            lambda: setattr(report, "push", probe_push(network, site.domain)),
-        )
-
-    if "hpack" in include_set:
-        guarded(
-            "hpack",
-            lambda: setattr(report, "hpack", probe_hpack(network, site.domain)),
-        )
-
-    if "ping" in include_set:
-        guarded(
-            "ping",
-            lambda: setattr(report, "ping", probe_ping(network, site.domain)),
-        )
-
+    probe_target(
+        network,
+        site.domain,
+        include=include,
+        seed=seed,
+        priority_test_paths=priority_test_paths,
+        priority_depletion_paths=priority_depletion_paths,
+        resilience=resilience,
+        known_paths=site.website,
+        report=report,
+    )
     report.scan_virtual_time = sim.now
     return report
 

@@ -35,13 +35,14 @@ from repro.scope.report import (
     SiteReport,
     TinyWindowResult,
 )
+from repro.scope.trace import decode_trace, encode_trace
 
 #: Current on-disk schema version.  Version 1 is the PR-1-era layout
 #: (reports table only, no version stamp); version 2 adds the campaign
-#: journal tables.  Databases stamped with a *newer* version are
-#: refused — an older tool must not scribble over a journal whose
-#: invariants it does not understand.
-SCHEMA_VERSION = 2
+#: journal tables; version 3 adds per-probe frame traces.  Databases
+#: stamped with a *newer* version are refused — an older tool must not
+#: scribble over a journal whose invariants it does not understand.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS reports (
@@ -76,6 +77,13 @@ CREATE TABLE IF NOT EXISTS campaign_sites (
 );
 CREATE INDEX IF NOT EXISTS idx_campaign_sites_status
     ON campaign_sites (campaign, status);
+CREATE TABLE IF NOT EXISTS traces (
+    campaign TEXT NOT NULL,
+    domain TEXT NOT NULL,
+    probe TEXT NOT NULL,
+    document TEXT NOT NULL,
+    PRIMARY KEY (campaign, domain, probe)
+);
 """
 
 
@@ -263,6 +271,52 @@ class ReportStore:
         with self._db:
             for report in reports:
                 self.stage(campaign, report)
+
+    # -- traces -----------------------------------------------------------
+
+    def stage_trace(
+        self, campaign: str, domain: str, probe: str, timed_frames
+    ) -> None:
+        """Insert or replace one probe's frame timeline WITHOUT committing."""
+        document = json.dumps(encode_trace(timed_frames))
+        self._db.execute(
+            "INSERT OR REPLACE INTO traces (campaign, domain, probe, document) "
+            "VALUES (?, ?, ?, ?)",
+            (campaign, domain, probe, document),
+        )
+
+    def save_traces(
+        self, campaign: str, domain: str, traces: dict[str, list]
+    ) -> None:
+        """Write every probe's timeline for one site in ONE transaction.
+
+        ``traces`` is :attr:`~repro.scope.trace.TraceRecorder.traces`
+        (probe name -> list of traced frames); empty timelines are
+        stored too, so "probe ran, nothing arrived" stays auditable.
+        """
+        with self._db:
+            for probe, timeline in traces.items():
+                self.stage_trace(campaign, domain, probe, timeline)
+
+    def load_trace(self, campaign: str, domain: str, probe: str):
+        """One probe's stored timeline as TracedFrame objects, or None."""
+        row = self._db.execute(
+            "SELECT document FROM traces "
+            "WHERE campaign = ? AND domain = ? AND probe = ?",
+            (campaign, domain, probe),
+        ).fetchone()
+        if row is None:
+            return None
+        return decode_trace(json.loads(row[0]))
+
+    def trace_probes(self, campaign: str, domain: str) -> list[str]:
+        """Names of probes with stored traces for one site."""
+        rows = self._db.execute(
+            "SELECT probe FROM traces WHERE campaign = ? AND domain = ? "
+            "ORDER BY probe",
+            (campaign, domain),
+        ).fetchall()
+        return [row[0] for row in rows]
 
     # -- reading -------------------------------------------------------------
 

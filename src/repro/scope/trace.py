@@ -1,4 +1,4 @@
-"""Frame-trace rendering.
+"""Frame-trace rendering, recording and persistence.
 
 H2Scope keeps a timestamped log of every frame sent and received
 (:attr:`~repro.scope.client.ScopeClient.frames`); this module renders
@@ -10,11 +10,23 @@ those logs the way protocol people read them::
 
 Useful when a probe's verdict needs auditing: the trace shows exactly
 which frames the server produced and when.
+
+Three pieces live here:
+
+* :func:`describe_frame` / :func:`render_trace` — pure rendering;
+* :class:`TraceRecorder` — collects per-probe received-frame timelines
+  while a scan runs (wired through
+  :class:`~repro.scope.session.ProbeSession`);
+* :func:`encode_trace` / :func:`decode_trace` — lossless round-trip of
+  a timeline through a JSON-friendly document (frames stored as wire
+  bytes, re-parsed on load), used by the report store's ``traces``
+  table and the ``h2scope trace`` subcommand.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.h2.constants import ErrorCode, FrameFlag, SettingCode
 from repro.h2.frames import (
@@ -30,6 +42,8 @@ from repro.h2.frames import (
     SettingsFrame,
     UnknownFrame,
     WindowUpdateFrame,
+    parse_frames,
+    serialize_frame,
 )
 
 
@@ -143,3 +157,66 @@ def render_trace(timed_frames: Iterable, direction: str = "<") -> str:
     for timed in timed_frames:
         lines.append(f"[{timed.at:9.4f}] {direction} {describe_frame(timed.frame)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Recording and persistence
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TracedFrame:
+    """A (timestamp, frame) pair independent of the client's log type."""
+
+    at: float
+    frame: Frame
+
+
+class TraceRecorder:
+    """Collects received-frame timelines, one per named probe.
+
+    A recorder travels with a :class:`~repro.scope.session.ProbeSession`;
+    the scanner calls :meth:`begin` before each probe and every
+    :class:`~repro.scope.client.ScopeClient` the session creates feeds
+    :meth:`record` as frames arrive.  Frames observed outside a named
+    probe (``begin`` not called) are dropped — recording is strictly
+    opt-in per probe.
+    """
+
+    def __init__(self) -> None:
+        self.traces: dict[str, list[TracedFrame]] = {}
+        self.current: str | None = None
+
+    def begin(self, probe: str) -> None:
+        self.current = probe
+        self.traces.setdefault(probe, [])
+
+    def end(self) -> None:
+        self.current = None
+
+    def record(self, at: float, frame: Frame) -> None:
+        if self.current is not None:
+            self.traces[self.current].append(TracedFrame(at=at, frame=frame))
+
+
+def encode_trace(timed_frames: Iterable) -> list[dict]:
+    """Encode a timeline as a JSON-friendly list of ``{at, frame}``.
+
+    Frames are stored as hex wire bytes so the round trip is exact for
+    every frame type, including :class:`UnknownFrame`.
+    """
+    return [
+        {"at": timed.at, "frame": serialize_frame(timed.frame).hex()}
+        for timed in timed_frames
+    ]
+
+
+def decode_trace(document: list[dict]) -> list[TracedFrame]:
+    """Inverse of :func:`encode_trace`."""
+    out: list[TracedFrame] = []
+    for entry in document:
+        frames, remainder = parse_frames(bytes.fromhex(entry["frame"]))
+        if remainder or len(frames) != 1:
+            raise ValueError("corrupt stored trace entry")
+        out.append(TracedFrame(at=float(entry["at"]), frame=frames[0]))
+    return out

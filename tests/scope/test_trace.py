@@ -1,4 +1,6 @@
-"""Frame-trace rendering."""
+"""Frame-trace rendering, recording and persistence."""
+
+import pytest
 
 from repro.h2.constants import FrameFlag
 from repro.h2.frames import (
@@ -14,14 +16,46 @@ from repro.h2.frames import (
     SettingsFrame,
     UnknownFrame,
     WindowUpdateFrame,
+    serialize_frame,
 )
 from repro.scope.client import ScopeClient, TimedFrame
-from repro.scope.trace import describe_frame, render_trace
+from repro.scope.session import ProbeSession
+from repro.scope.storage import ReportStore
+from repro.scope.trace import (
+    TracedFrame,
+    TraceRecorder,
+    decode_trace,
+    describe_frame,
+    encode_trace,
+    render_trace,
+)
 from repro.net.clock import Simulation
 from repro.net.transport import Network
 from repro.servers.profiles import ServerProfile
 from repro.servers.site import Site, deploy_site
 from repro.servers.website import default_website
+
+#: One of every frame type, exercising the odd corners: unknown frame
+#: types, GOAWAY debug data, unregistered SETTINGS identifiers and
+#: error codes.
+ONE_OF_EACH = [
+    DataFrame(stream_id=1, flags=FrameFlag.END_STREAM, data=b"abc"),
+    HeadersFrame(
+        stream_id=3,
+        flags=FrameFlag.END_HEADERS,
+        header_block=b"hb",
+        priority=PriorityData(depends_on=1, weight=16, exclusive=True),
+    ),
+    PriorityFrame(stream_id=5, priority=PriorityData(3, 255, False)),
+    RstStreamFrame(stream_id=7, error_code=0x5EED),  # unknown error code
+    SettingsFrame(settings=[(3, 128), (0xF00F, 9)]),  # unknown identifier
+    PushPromiseFrame(stream_id=1, promised_stream_id=2, header_block=b"p"),
+    PingFrame(payload=b"12345678"),
+    GoAwayFrame(last_stream_id=9, error_code=0xBEEF, debug_data=b"dbg\x00!"),
+    WindowUpdateFrame(stream_id=0, window_increment=2**31 - 1),
+    ContinuationFrame(stream_id=3, flags=FrameFlag.END_HEADERS, header_block=b"c"),
+    UnknownFrame(stream_id=2, type_code=0xEE, payload=b"\x01\x02"),
+]
 
 
 class TestDescribeFrame:
@@ -116,3 +150,119 @@ class TestRenderTrace:
         out = render_trace(client.frames)
         assert "SETTINGS" in out
         assert "HEADERS" in out
+
+    def test_every_frame_type_renders_one_line(self):
+        timeline = [
+            TracedFrame(at=float(i), frame=frame)
+            for i, frame in enumerate(ONE_OF_EACH)
+        ]
+        out = render_trace(timeline)
+        lines = out.splitlines()
+        assert len(lines) == len(ONE_OF_EACH)
+        for keyword in (
+            "DATA", "HEADERS", "PRIORITY", "RST_STREAM", "SETTINGS",
+            "PUSH_PROMISE", "PING", "GOAWAY", "WINDOW_UPDATE",
+            "CONTINUATION", "UNKNOWN(0xee)",
+        ):
+            assert keyword in out, keyword
+        # Unregistered codes fall back to hex, never raise.
+        assert "0x5eed" in out and "0xbeef" in out and "0xf00f=9" in out
+        assert "debug=" in out  # GOAWAY debug data surfaced
+
+    def test_rendering_is_stable(self):
+        timeline = [
+            TracedFrame(at=float(i), frame=frame)
+            for i, frame in enumerate(ONE_OF_EACH)
+        ]
+        assert render_trace(timeline) == render_trace(timeline)
+
+
+class TestEncodeDecode:
+    def test_round_trip_every_frame_type(self):
+        timeline = [
+            TracedFrame(at=0.25 * i, frame=frame)
+            for i, frame in enumerate(ONE_OF_EACH)
+        ]
+        document = encode_trace(timeline)
+        restored = decode_trace(document)
+        assert len(restored) == len(timeline)
+        for original, back in zip(timeline, restored):
+            assert back.at == original.at
+            assert serialize_frame(back.frame) == serialize_frame(original.frame)
+        # The decoded timeline renders identically: persistence is
+        # invisible to a reader of the trace.
+        assert render_trace(restored) == render_trace(timeline)
+
+    def test_document_is_json_friendly(self):
+        import json
+
+        document = encode_trace([TracedFrame(at=1.5, frame=PingFrame())])
+        assert json.loads(json.dumps(document)) == document
+
+    def test_decode_rejects_corrupt_entries(self):
+        good = encode_trace([TracedFrame(at=0.0, frame=PingFrame())])
+        truncated = [{"at": 0.0, "frame": good[0]["frame"][:-4]}]
+        with pytest.raises(ValueError):
+            decode_trace(truncated)
+        doubled = [{"at": 0.0, "frame": good[0]["frame"] * 2}]
+        with pytest.raises(ValueError):
+            decode_trace(doubled)
+
+
+class TestTraceRecorder:
+    def test_records_only_inside_named_probe(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, PingFrame())  # no probe begun: dropped
+        recorder.begin("ping")
+        recorder.record(1.0, PingFrame())
+        recorder.end()
+        recorder.record(2.0, PingFrame())  # after end: dropped
+        assert list(recorder.traces) == ["ping"]
+        assert [t.at for t in recorder.traces["ping"]] == [1.0]
+
+    def test_begin_registers_empty_timeline(self):
+        recorder = TraceRecorder()
+        recorder.begin("silent")
+        recorder.end()
+        assert recorder.traces["silent"] == []
+
+    def test_session_wires_recorder_into_clients(self):
+        sim = Simulation()
+        network = Network(sim, seed=2)
+        site = Site(
+            domain="t.test", profile=ServerProfile(), website=default_website()
+        )
+        deploy_site(network, site)
+        recorder = TraceRecorder()
+        session = ProbeSession(network, trace=recorder)
+        recorder.begin("handshake")
+        client = session.client("t.test")
+        assert client.establish_h2()
+        recorder.end()
+        client.close()
+        frames = recorder.traces["handshake"]
+        assert frames, "received frames should have been recorded"
+        assert render_trace(frames)  # and they render
+        assert render_trace(frames) == render_trace(client.frames)
+
+
+class TestTraceStorage:
+    def test_store_round_trip(self, tmp_path):
+        timeline = [
+            TracedFrame(at=0.5 * i, frame=frame)
+            for i, frame in enumerate(ONE_OF_EACH)
+        ]
+        with ReportStore(tmp_path / "traces.db") as store:
+            store.save_traces(
+                "camp", "site.test", {"negotiation": timeline, "ping": []}
+            )
+            assert store.trace_probes("camp", "site.test") == [
+                "negotiation",
+                "ping",
+            ]
+            restored = store.load_trace("camp", "site.test", "negotiation")
+            assert render_trace(restored) == render_trace(timeline)
+            assert store.load_trace("camp", "site.test", "ping") == []
+            assert store.load_trace("camp", "site.test", "nope") is None
+            assert store.trace_probes("camp", "other.test") == []
+
