@@ -1,0 +1,108 @@
+"""Live-pool throughput: sites/sec at concurrency ∈ {1, 8, 32, 128}.
+
+Scans one loopback fleet (real TCP, simulated vendor engines) per
+concurrency level and emits ``benchmarks/results/BENCH_live_scan.json``
+so the live pool's scaling curve is recorded run over run.  Unlike the
+sharded-scan benchmark (CPU-bound universes, bounded by cores), the
+live pool overlaps *waits* — emulated link round trips and politeness
+sleeps — so even a single-core runner should show concurrency gains
+until the GIL-serialised codec work saturates; ``cpu_count`` is stored
+next to the numbers for that reading.
+
+The sweep also re-checks the wall-clock determinism contract on the
+way: every concurrency level must produce identical behavioural
+verdicts (:func:`~repro.scope.live.verdict_view`) for every site.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
+from repro.scope.live import (
+    LiveConfig,
+    LiveScanMetrics,
+    run_live_campaign,
+    verdict_view,
+)
+from repro.scope.resilience import ResilienceConfig
+from repro.scope.storage import ReportStore
+from repro.servers.fleet import FleetPlan, LoopbackFleet
+
+CONCURRENCY_SWEEP = [1, 8, 32, 128]
+N_SITES = int(os.environ.get("REPRO_BENCH_LIVE_SITES", "16"))
+INCLUDE = {"negotiation", "settings", "ping"}
+
+
+def bench_live_scan(benchmark):
+    plan = FleetPlan(sites=N_SITES, seed=BENCH_SEED)
+
+    def scan_at(concurrency):
+        metrics = LiveScanMetrics()
+        with tempfile.TemporaryDirectory() as scratch:
+            with LoopbackFleet(plan) as fleet:
+                with ReportStore(Path(scratch) / "bench.db") as store:
+                    start = time.perf_counter()
+                    run_live_campaign(
+                        fleet.domains,
+                        store,
+                        "bench",
+                        include=INCLUDE,
+                        seed=plan.seed,
+                        resilience=ResilienceConfig(timeout=40.0, retries=1),
+                        config=LiveConfig(
+                            concurrency=concurrency, timeout_scale=0.15
+                        ),
+                        resolver=fleet.resolver(),
+                        metrics=metrics,
+                    )
+                    elapsed = time.perf_counter() - start
+                    verdicts = {
+                        domain: verdict_view(store.load("bench", domain))
+                        for domain in fleet.domains
+                    }
+        return verdicts, metrics, elapsed
+
+    rows = {}
+    verdicts = {}
+    for concurrency in CONCURRENCY_SWEEP:
+        views, metrics, elapsed = scan_at(concurrency)
+        verdicts[concurrency] = views
+        rows[concurrency] = {
+            "concurrency": concurrency,
+            "effective_pool": min(concurrency, N_SITES),
+            "high_water": metrics.concurrency_high_water,
+            "seconds": round(elapsed, 4),
+            "sites_per_sec": round(N_SITES / elapsed, 2),
+        }
+
+    for concurrency in CONCURRENCY_SWEEP[1:]:
+        assert verdicts[concurrency] == verdicts[CONCURRENCY_SWEEP[0]], (
+            f"concurrency={concurrency} changed behavioural verdicts"
+        )
+        rows[concurrency]["speedup_vs_serial"] = round(
+            rows[concurrency]["sites_per_sec"]
+            / rows[CONCURRENCY_SWEEP[0]]["sites_per_sec"],
+            2,
+        )
+
+    # benchmark the serial leg so pytest-benchmark has a stable anchor.
+    benchmark.pedantic(scan_at, args=(1,), rounds=1, iterations=1)
+
+    document = {
+        "n_sites": N_SITES,
+        "cpu_count": os.cpu_count(),
+        "include": sorted(INCLUDE),
+        "results": [rows[c] for c in CONCURRENCY_SWEEP],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_live_scan.json"
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print()
+    print(json.dumps(document, indent=2))
+    for concurrency in CONCURRENCY_SWEEP:
+        benchmark.extra_info[f"sites_per_sec_c{concurrency}"] = rows[
+            concurrency
+        ]["sites_per_sec"]

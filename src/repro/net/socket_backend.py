@@ -21,6 +21,7 @@ a callable returning such a pair (or ``None`` for "no such host").
 from __future__ import annotations
 
 import asyncio
+import socket
 from collections.abc import Callable
 
 from repro.net.backend import TransportBackend
@@ -107,6 +108,10 @@ class SocketConnectAttempt:
         self._backend = backend
         self.established = False
         self.refused = False
+        #: Set when the failure was name resolution (no such host),
+        #: not a live host declining: callers map it onto the DNS
+        #: error class instead of retrying a transient refusal.
+        self.dns_failure = False
         self.endpoint: SocketEndpoint | None = None
         self.started_at = backend.now
         self.completed_at: float | None = None
@@ -119,6 +124,8 @@ class SocketConnectAttempt:
         return self.completed_at - self.started_at
 
     def _complete(self, endpoint: SocketEndpoint | None) -> None:
+        if self.completed_at is not None:
+            return  # already terminal (e.g. cancelled during close())
         self.completed_at = self._backend.now
         if endpoint is None:
             self.refused = True
@@ -137,12 +144,20 @@ class SocketBackend(TransportBackend):
         resolver=None,
         timeout_scale: float = 1.0,
         connect_timeout: float = 10.0,
+        gate: Callable[[str, int], None] | None = None,
     ):
         self.timeout_scale = timeout_scale
         self.connect_timeout = connect_timeout
         self._resolver = resolver
+        #: Politeness hook: called (and allowed to block) before every
+        #: connection attempt, with the probe-level ``(domain, port)``.
+        #: The live campaign layer installs its per-host-gap gate and
+        #: global rate limiter here; ``None`` means no throttling.
+        self._gate = gate
         self._loop = asyncio.new_event_loop()
         self._endpoints: list[SocketEndpoint] = []
+        self._attempts: list[SocketConnectAttempt] = []
+        self._tasks: set[asyncio.Task] = set()
         self._closed = False
         #: Per-attempt probing policy slot (see resilience layer).
         self.probe_policy = None
@@ -161,11 +176,24 @@ class SocketBackend(TransportBackend):
     # -- connections ------------------------------------------------------
 
     def connect(self, domain: str, port: int) -> SocketConnectAttempt:
+        if self._closed:
+            raise ConnectionError("socket backend is closed")
+        if self._gate is not None:
+            # Politeness: may block the probing thread until the host's
+            # inter-contact gap has elapsed and a rate token is free.
+            self._gate(domain, port)
         attempt = SocketConnectAttempt(self)
-        address = self.resolve(domain, port)
+        self._attempts.append(attempt)
+        try:
+            address = self.resolve(domain, port)
+        except socket.gaierror:
+            address = None
+            attempt.dns_failure = True
         if address is None:
-            # No such host: resolve to refusal on the next loop slice so
-            # callers still go through their normal wait.
+            # No such host: resolve to a terminal failure on the next
+            # loop slice so callers still go through their normal wait.
+            if not attempt.dns_failure:
+                attempt.dns_failure = True  # resolver said "no address"
             self._loop.call_soon(attempt._complete, None)
             return attempt
 
@@ -174,19 +202,34 @@ class SocketBackend(TransportBackend):
         async def _establish() -> None:
             host, real_port = address
             try:
-                await asyncio.wait_for(
+                transport, _ = await asyncio.wait_for(
                     self._loop.create_connection(
                         lambda: _ClientProtocol(endpoint), host, real_port
                     ),
                     timeout=self.connect_timeout,
                 )
+            except asyncio.CancelledError:
+                # close() tore us down mid-connect: leave a terminal
+                # refusal behind for anyone still holding the attempt.
+                attempt._complete(None)
+                raise
+            except socket.gaierror:
+                attempt.dns_failure = True
+                attempt._complete(None)
+                return
             except (OSError, asyncio.TimeoutError):
+                attempt._complete(None)
+                return
+            if self._closed:
+                transport.close()
                 attempt._complete(None)
                 return
             self._endpoints.append(endpoint)
             attempt._complete(endpoint)
 
-        self._loop.create_task(_establish())
+        task = self._loop.create_task(_establish())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
         return attempt
 
     # -- clock ------------------------------------------------------------
@@ -219,19 +262,39 @@ class SocketBackend(TransportBackend):
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
+        """Tear the backend down completely: cancel in-flight connect
+        attempts, close every live transport, and release the loop.
+
+        After close() no task is left pending (so the interpreter never
+        logs "Task was destroyed but it is pending"), every file
+        descriptor the backend opened is closed, and every outstanding
+        :class:`SocketConnectAttempt` has reached a terminal state so
+        a caller blocked on ``established or refused`` can make
+        progress.  Idempotent.
+        """
         if self._closed:
             return
         self._closed = True
-        for endpoint in self._endpoints:
-            endpoint.close()
-        # One final slice lets transports flush their close handshakes
-        # and cancels anything still pending.
-        pending = [t for t in asyncio.all_tasks(self._loop) if not t.done()]
+        # 1. Cancel in-flight connects and reap them.  _establish's
+        #    CancelledError handler marks each attempt refused; gather
+        #    consumes the cancellations so no task outlives the loop.
+        pending = [t for t in self._tasks if not t.done()]
         for task in pending:
             task.cancel()
         if pending:
             self._loop.run_until_complete(
                 asyncio.gather(*pending, return_exceptions=True)
             )
-        self._loop.run_until_complete(asyncio.sleep(0))
+        # 2. Attempts whose completion callback never got a loop slice
+        #    (the no-address call_soon path) resolve to refusal now.
+        for attempt in self._attempts:
+            attempt._complete(None)
+        # 3. Close live transports; transport.close() defers the actual
+        #    fd close to a call_soon, so run a few slices to let the
+        #    close chain (unregister, _call_connection_lost) finish.
+        for endpoint in self._endpoints:
+            endpoint.close()
+        for _ in range(3):
+            self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
         self._loop.close()

@@ -307,6 +307,21 @@ class CampaignJournal:
             counts[status] = count
         return counts
 
+    def dns_failures(self, campaign: str) -> int:
+        """Sites whose journaled failure is DNS-classified.
+
+        Matches on the ``[dns, attempts=N]`` suffix that
+        :class:`~repro.scope.report.ScanError`'s string form puts into
+        ``last_error`` — the journal stores the rendered error, so the
+        class tag rides along without a schema change.
+        """
+        row = self._db.execute(
+            "SELECT COUNT(*) FROM campaign_sites "
+            "WHERE campaign = ? AND last_error LIKE '%[dns,%'",
+            (campaign,),
+        ).fetchone()
+        return row[0] or 0
+
     def virtual_seconds(self, campaign: str) -> float:
         row = self._db.execute(
             "SELECT SUM(virtual_time) FROM campaign_sites WHERE campaign = ?",

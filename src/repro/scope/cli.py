@@ -341,9 +341,161 @@ def _store_campaign(
             signal.signal(signal.SIGINT, previous_handler)
 
 
+def _live_resume_command(args: argparse.Namespace) -> str:
+    """The exact command line that resumes this live campaign."""
+    parts = [
+        f"h2scope --seed {args.seed} scan",
+        "--backend socket",
+        f"--targets {args.targets}",
+        f"--db {args.db}",
+        f"--campaign {args.campaign}",
+    ]
+    if args.timeout is not None:
+        parts.append(f"--timeout {args.timeout}")
+    if args.retries is not None:
+        parts.append(f"--retries {args.retries}")
+    if args.checkpoint_every != 25:
+        parts.append(f"--checkpoint-every {args.checkpoint_every}")
+    # Pool/politeness knobs are not part of the manifest: a campaign
+    # may be resumed gentler or more aggressive than it started.
+    if args.concurrency != 8:
+        parts.append(f"--concurrency {args.concurrency}")
+    if args.per_host_gap:
+        parts.append(f"--per-host-gap {args.per_host_gap}")
+    if args.rate is not None:
+        parts.append(f"--rate {args.rate}")
+    if args.timeout_scale != 1.0:
+        parts.append(f"--timeout-scale {args.timeout_scale}")
+    parts.append("--resume")
+    return " ".join(parts)
+
+
+def _cmd_scan_live(args: argparse.Namespace) -> int:
+    """Live-mode scan: real TCP to the domains in ``--targets``.
+
+    Runs the hardened pipeline from :mod:`repro.scope.live`: DNS
+    pre-stage (unresolvable sites quarantined without a connect), a
+    bounded pool of ``--concurrency`` socket probe sessions, per-host
+    politeness (``--per-host-gap``) and a global contact-rate budget
+    (``--rate``/``--burst``) — journaled and resumable exactly like a
+    simulated campaign.
+    """
+    import signal
+    import sqlite3
+
+    from repro.scope.campaign import (
+        CampaignError,
+        CampaignInterrupted,
+        ManifestMismatch,
+    )
+    from repro.scope.live import LiveConfig, run_live_campaign
+    from repro.scope.resilience import ResilienceConfig
+    from repro.scope.storage import ReportStore, SchemaVersionError
+
+    if not args.db:
+        print("--backend socket requires --db (the journal)", file=sys.stderr)
+        return 2
+    if args.targets is None:
+        print(
+            "--backend socket requires --targets FILE (one domain per line)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(args.targets) as handle:
+            domains = [
+                line.strip()
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+    except OSError as exc:
+        print(f"cannot read --targets: {exc}", file=sys.stderr)
+        return 2
+    if not domains:
+        print(f"{args.targets}: no domains", file=sys.stderr)
+        return 2
+
+    resilience = ResilienceConfig(
+        timeout=20.0 if args.timeout is None else args.timeout,
+        retries=2 if args.retries is None else args.retries,
+    )
+    config = LiveConfig(
+        concurrency=args.concurrency,
+        per_host_gap=args.per_host_gap,
+        rate=args.rate,
+        burst=args.burst,
+        timeout_scale=args.timeout_scale,
+    )
+    try:
+        store = ReportStore(args.db)
+    except (SchemaVersionError, sqlite3.DatabaseError) as exc:
+        print(f"cannot open {args.db}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        previous_handler = signal.signal(
+            signal.SIGINT, signal.default_int_handler
+        )
+    except ValueError:  # not the main thread (tests, embedding)
+        previous_handler = None
+    try:
+        with store:
+            try:
+                result = run_live_campaign(
+                    domains,
+                    store,
+                    args.campaign,
+                    seed=args.seed,
+                    resilience=resilience,
+                    resume=args.resume,
+                    checkpoint_every=args.checkpoint_every,
+                    config=config,
+                )
+            except CampaignInterrupted as interrupt:
+                print(
+                    f"\ninterrupted: journal flushed "
+                    f"({interrupt.flushed} sites scanned this run, "
+                    f"{interrupt.remaining} remaining)"
+                )
+                print(f"resume with: {_live_resume_command(args)}")
+                return 130
+            except ManifestMismatch as exc:
+                print(
+                    f"cannot resume {args.campaign!r}: {exc}", file=sys.stderr
+                )
+                return 2
+            except CampaignError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            counts = result.counts
+            from repro.scope.campaign import CampaignJournal
+
+            dns_failures = CampaignJournal(store).dns_failures(args.campaign)
+            print(
+                f"campaign {args.campaign}: {counts['done']} done, "
+                f"{counts['failed']} failed, "
+                f"{counts['quarantined']} quarantined "
+                f"({dns_failures} dns), "
+                f"{counts['pending']} pending "
+                f"({result.scanned} scanned this run, "
+                f"{result.skipped} already journaled; "
+                f"{result.virtual_seconds:.1f} wall seconds of scan time)"
+            )
+            if counts["failed"] or counts["pending"]:
+                print(f"finish with: {_live_resume_command(args)}")
+        return 0
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     if args.resume and not args.db:
         print("--resume requires --db (the journaled database)", file=sys.stderr)
+        return 2
+    if args.backend == "socket":
+        return _cmd_scan_live(args)
+    if args.targets is not None:
+        print("--targets requires --backend socket", file=sys.stderr)
         return 2
     if (
         args.fault_plan is not None
@@ -499,12 +651,18 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             counts = journal.counts(name)
             total = sum(counts.values())
             virtual = journal.virtual_seconds(name)
+            dns_failures = journal.dns_failures(name)
             print(f"campaign {name}: {total} sites")
             print(
                 f"  done {counts['done']}  failed {counts['failed']}  "
                 f"quarantined {counts['quarantined']}  "
                 f"pending {counts['pending']}"
             )
+            if dns_failures:
+                print(
+                    f"  dns failures: {dns_failures} "
+                    f"(unresolvable, quarantined without retries)"
+                )
             print(
                 f"  manifest: seed {manifest.seed}, "
                 f"probes {','.join(manifest.probes)}, "
@@ -723,6 +881,64 @@ def build_parser() -> argparse.ArgumentParser:
     scan = sub.add_parser("scan", help="population scan summaries (§V-B..F)")
     scan.add_argument("--experiment", type=int, choices=(1, 2), default=1)
     scan.add_argument("-n", "--n-sites", type=int, default=300)
+    scan.add_argument(
+        "--backend",
+        choices=("sim", "socket"),
+        default="sim",
+        help="sim: generated population in per-site simulations "
+        "(default); socket: live scan of --targets over real TCP with "
+        "the bounded pool + politeness + DNS pipeline",
+    )
+    scan.add_argument(
+        "--targets",
+        default=None,
+        metavar="FILE",
+        help="socket backend: file of target domains, one per line "
+        "('#' comments allowed)",
+    )
+    scan.add_argument(
+        "--campaign",
+        default="live",
+        help="socket backend: campaign name for the journal "
+        "(default 'live')",
+    )
+    scan.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="socket backend: max in-flight probe sessions (default 8)",
+    )
+    scan.add_argument(
+        "--per-host-gap",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="socket backend: minimum gap between TCP connects to the "
+        "same host (contacts to one host never overlap either)",
+    )
+    scan.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="socket backend: global contact-rate budget (token bucket)",
+    )
+    scan.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="socket backend: token-bucket burst (default max(1, rate))",
+    )
+    scan.add_argument(
+        "--timeout-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="socket backend: multiplier shrinking simulation-tuned "
+        "probe timeouts to wall-clock waits (default 1.0)",
+    )
     scan.add_argument(
         "--db",
         default=None,

@@ -43,6 +43,7 @@ __all__ = ["H2", "HTTP11", "ScopeClient", "TimedEvent", "TimedFrame", "DEFAULT_T
 from repro.scope.resilience import (
     ConnectionRefusedFault,
     ConnectionResetFault,
+    DnsFault,
     ProbePolicy,
     ProbeTimeout,
     TlsFault,
@@ -182,6 +183,13 @@ class ScopeClient:
         )
         if not attempt.established:
             if self._raise_faults():
+                # Wall-clock backends flag attempts that died in name
+                # resolution; report those as DNS, not refused, so the
+                # campaign layer can quarantine instead of retrying.
+                if getattr(attempt, "dns_failure", False):
+                    raise DnsFault(
+                        f"{self.domain}:{self.port}: name resolution failed"
+                    )
                 raise ConnectionRefusedFault(
                     f"{self.domain}:{self.port}: connection refused"
                 )

@@ -1,0 +1,770 @@
+"""Live campaign execution: a polite, bounded pool of socket probes.
+
+The paper's headline scans walked the Alexa top-1M over the open
+internet — a population with dead domains, slow resolvers, hosts that
+reset mid-handshake, and hosts that must not be hammered.  PR 5's
+:class:`~repro.net.socket_backend.SocketBackend` drives exactly one
+real connection synchronously; this module is the campaign layer that
+makes it survive (and be survivable by) a population:
+
+* a **bounded pool**: ``concurrency`` worker threads, each driving one
+  in-flight :class:`~repro.scope.session.ProbeSession` over its own
+  private asyncio loop.  Probes are synchronous sans-IO drivers whose
+  wall-clock time is dominated by network waits, so thread-per-session
+  concurrency scales to hundreds of in-flight sessions while reusing
+  the exact probe code the simulator runs (the determinism contract
+  stays untouched);
+* a **politeness layer**: per-host serialization with a minimum
+  inter-contact gap (:class:`HostPoliteness`) plus a global
+  token-bucket contact-rate limiter (:class:`TokenBucket`), installed
+  as the backend's connect ``gate`` so *every* TCP connect — including
+  retry reconnects — pays the toll;
+* a **DNS stage** (:class:`DnsStage`): a concurrent resolver pool with
+  positive and negative caching that runs ahead of probing, maps
+  resolution failures onto :class:`~repro.scope.resilience.DnsFault`
+  (``ErrorClass.DNS``), and quarantines unresolvable sites immediately
+  — no connect attempts, no retry budget spent;
+* **durability identical to the simulated path**: the same
+  :class:`~repro.scope.campaign.CampaignJournal` and manifest checks,
+  so ``--resume`` after a crash or SIGKILL skips completed sites and
+  retries failed ones exactly as a simulated campaign does.  The one
+  deliberate difference: checkpoints are written in *completion* order
+  rather than todo order — live wall-clock results are not
+  byte-deterministic anyway, and completion order means a crash loses
+  at most one unflushed batch instead of everything behind a stalled
+  head-of-line site.
+
+Every invariant the pool promises is observable via
+:class:`LiveScanMetrics`: in-flight high-water mark (never above
+``concurrency``), the per-host contact log (consecutive contacts to a
+host are ``per_host_gap`` apart), and the token-grant log (global
+contact rate bounded by ``rate`` with ``burst`` slack) — the fleet
+tests assert all three while fault-injected workers hit refusals,
+stalls and dead resolvers.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+
+from repro.net.socket_backend import SocketBackend
+from repro.scope.campaign import (
+    CampaignInterrupted,
+    CampaignJournal,
+    CampaignManifest,
+    CampaignResult,
+    JournalEntry,
+    SiteStatus,
+)
+from repro.scope.report import ErrorClass, ScanError, SiteReport
+from repro.scope.resilience import (
+    DnsFault,
+    ResilienceConfig,
+    make_scan_error,
+)
+from repro.scope.scanner import (
+    ScanProgress,
+    _validate_include,
+    probe_target,
+    report_has_dns_error,
+)
+from repro.scope.session import ProbeSession
+from repro.scope.storage import ReportStore
+
+
+#: Report fields that depend on wall-clock measurement, not on server
+#: behaviour: stripped by :func:`verdict_view` so live and simulated
+#: scans of the same (seeded) origin can be compared verdict-for-verdict.
+_WALL_CLOCK_FIELDS = (
+    ("scan_virtual_time",),
+    ("probe_attempts",),
+    ("negotiation", "tcp_handshake_rtt"),
+    ("ping", "tcp_rtt"),
+    ("ping", "icmp_rtt"),
+    ("ping", "h2_ping_rtt"),
+    ("ping", "http1_rtt"),
+)
+
+
+def verdict_view(report) -> dict:
+    """A wall-clock-independent projection of a :class:`SiteReport`.
+
+    Everything a report says about *server behaviour* — negotiation
+    outcomes, announced settings, flow-control reactions, scheduler
+    classification, push, HPACK ratios — survives; RTT measurements and
+    timing bookkeeping are dropped.  Two scans of identically seeded
+    origins (one simulated, one over real sockets) must agree on this
+    view; the loopback-fleet differential asserts exactly that.
+    """
+    view = asdict(report)
+    for path in _WALL_CLOCK_FIELDS:
+        node = view
+        for key in path[:-1]:
+            node = node.get(key) or {}
+        node.pop(path[-1], None)
+    return view
+
+
+@dataclass(frozen=True)
+class LiveTarget:
+    """One live-scan target: a domain to resolve and probe."""
+
+    domain: str
+
+
+def as_targets(targets) -> list[LiveTarget]:
+    """Normalize plain domain strings / Site-likes into LiveTargets."""
+    out = []
+    for target in targets:
+        if isinstance(target, LiveTarget):
+            out.append(target)
+        elif isinstance(target, str):
+            out.append(LiveTarget(domain=target))
+        else:
+            out.append(LiveTarget(domain=target.domain))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Politeness: token bucket + per-host gap
+# ---------------------------------------------------------------------------
+
+
+class TokenBucket:
+    """Global contact-rate limiter (thread-safe, blocking acquire).
+
+    Classic token bucket: tokens refill at ``rate`` per second up to
+    ``burst``; each contact costs one token, and :meth:`acquire` blocks
+    the calling worker until one is available.  Guarantee: the number
+    of grants inside any window of ``w`` seconds never exceeds
+    ``burst + rate * w``.  Grant timestamps are kept in :attr:`grants`
+    so tests can assert exactly that.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._last = clock()
+        #: Grant timestamps (monotonic seconds), for invariant checks.
+        self.grants: list[float] = []
+
+    def acquire(self) -> float:
+        """Block until a token is free; returns seconds spent waiting."""
+        start = self._clock()
+        while True:
+            with self._lock:
+                now = self._clock()
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._last) * self.rate
+                )
+                self._last = now
+                # The epsilon absorbs refill rounding (a 0.2s wait at
+                # rate 5 can land at 0.99999999999999998 tokens).
+                if self._tokens >= 1.0 - 1e-9:
+                    self._tokens = max(0.0, self._tokens - 1.0)
+                    self.grants.append(now)
+                    return now - start
+                shortfall = (1.0 - self._tokens) / self.rate
+            # Floor the wait so the clock always advances, even when the
+            # shortfall rounds below the clock's resolution.
+            self._sleep(max(shortfall, 1e-6))
+
+
+class _HostSlot:
+    __slots__ = ("lock", "last")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.last: float | None = None
+
+
+class HostPoliteness:
+    """Per-host contact serialization with a minimum inter-contact gap.
+
+    A *contact* is one TCP connection attempt.  :meth:`acquire` blocks
+    until the caller holds the host's slot (contacts to one host never
+    overlap) and the previous contact is at least ``gap`` seconds old;
+    :meth:`commit` stamps the contact time and releases the slot.  The
+    stamp happens at commit — after the global rate limiter has also
+    granted a token — so the recorded time is the moment the connect
+    actually starts.
+    """
+
+    def __init__(self, gap: float, clock=time.monotonic, sleep=time.sleep):
+        self.gap = max(0.0, float(gap))
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._hosts: dict[str, _HostSlot] = {}
+        #: ``(host, monotonic_time)`` per contact, in commit order.
+        self.contacts: list[tuple[str, float]] = []
+
+    def _slot(self, host: str) -> _HostSlot:
+        with self._lock:
+            slot = self._hosts.get(host)
+            if slot is None:
+                slot = self._hosts[host] = _HostSlot()
+            return slot
+
+    def acquire(self, host: str) -> None:
+        slot = self._slot(host)
+        slot.lock.acquire()
+        if slot.last is not None and self.gap > 0:
+            wait = slot.last + self.gap - self._clock()
+            if wait > 0:
+                self._sleep(wait)
+
+    def commit(self, host: str) -> None:
+        slot = self._slot(host)
+        now = self._clock()
+        slot.last = now
+        with self._lock:
+            self.contacts.append((host, now))
+        slot.lock.release()
+
+
+# ---------------------------------------------------------------------------
+# DNS stage
+# ---------------------------------------------------------------------------
+
+
+class DnsStage:
+    """Concurrent name resolution with positive/negative caching.
+
+    ``resolver`` follows the :class:`SocketBackend` convention: ``None``
+    uses the system resolver (``socket.getaddrinfo``); a mapping or
+    callable resolves ``(domain, port)`` to ``(host, port)`` or ``None``
+    for "no such host" — the hermetic fleets inject their loopback
+    mapping here.  Failures raise :class:`DnsFault` and are negatively
+    cached so a dead domain costs exactly one lookup per campaign.
+    """
+
+    def __init__(self, resolver=None, workers: int = 16):
+        self._resolver = resolver
+        self.workers = max(1, int(workers))
+        self._lock = threading.Lock()
+        self._positive: dict[tuple[str, int], tuple[str, int]] = {}
+        self._negative: dict[tuple[str, int], str] = {}
+
+    # -- single lookups ----------------------------------------------------
+
+    def _resolve_uncached(self, domain: str, port: int) -> tuple[str, int]:
+        resolver = self._resolver
+        if resolver is None:
+            try:
+                infos = socket.getaddrinfo(
+                    domain, port, type=socket.SOCK_STREAM
+                )
+            except socket.gaierror as exc:
+                raise DnsFault(f"{domain}: {exc}") from exc
+            if not infos:
+                raise DnsFault(f"{domain}: resolver returned no addresses")
+            host, resolved_port = infos[0][4][:2]
+            return (host, resolved_port)
+        if callable(resolver):
+            address = resolver(domain, port)
+        else:
+            address = resolver.get((domain, port))
+        if address is None:
+            raise DnsFault(f"{domain}:{port}: no address")
+        return address
+
+    def resolve(self, domain: str, port: int = 443) -> tuple[str, int]:
+        """Resolve one (domain, port), consulting and filling the caches."""
+        key = (domain, port)
+        with self._lock:
+            if key in self._positive:
+                return self._positive[key]
+            if key in self._negative:
+                raise DnsFault(self._negative[key])
+        try:
+            address = self._resolve_uncached(domain, port)
+        except DnsFault as exc:
+            with self._lock:
+                self._negative[key] = str(exc)
+            raise
+        with self._lock:
+            self._positive[key] = address
+        return address
+
+    def lookup(self, domain: str, port: int):
+        """Backend-facing resolver: cached, raising on negative entries.
+
+        Handed to :class:`SocketBackend` as its ``resolver`` so probe
+        connects hit the cache; a miss (e.g. the cleartext port of a
+        partially mapped target) resolves inline.
+        """
+        return self.resolve(domain, port)
+
+    # -- the pre-probe stage ----------------------------------------------
+
+    def resolve_all(
+        self, domains, ports: tuple[int, ...] = (443, 80)
+    ) -> dict[str, DnsFault | None]:
+        """Resolve every domain concurrently ahead of probing.
+
+        Returns ``{domain: None}`` for resolvable sites and
+        ``{domain: DnsFault}`` for ones the campaign must quarantine.
+        A domain fails only if its *primary* (first listed) port has no
+        address; secondary ports are warmed opportunistically so the
+        probe phase never blocks on DNS.
+        """
+        domains = list(dict.fromkeys(domains))  # stable de-dup
+        results: dict[str, DnsFault | None] = {}
+        if not domains:
+            return results
+        primary = ports[0]
+
+        def one(domain: str) -> DnsFault | None:
+            fault = None
+            try:
+                self.resolve(domain, primary)
+            except DnsFault as exc:
+                fault = exc
+            else:
+                for port in ports[1:]:
+                    try:
+                        self.resolve(domain, port)
+                    except DnsFault:
+                        pass  # secondary listener may legitimately miss
+            return fault
+
+        workers = min(self.workers, len(domains))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="h2scope-dns"
+        ) as pool:
+            for domain, fault in zip(domains, pool.map(one, domains)):
+                results[domain] = fault
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Metrics: observable pool/politeness invariants
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LiveScanMetrics:
+    """Counters and logs the invariant tests assert against."""
+
+    in_flight: int = 0
+    concurrency_high_water: int = 0
+    sessions: int = 0
+    dns_quarantined: int = 0
+    #: Shared with :class:`HostPoliteness` / :class:`TokenBucket`.
+    contacts: list[tuple[str, float]] = field(default_factory=list)
+    rate_grants: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def session_started(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.sessions += 1
+            self.concurrency_high_water = max(
+                self.concurrency_high_water, self.in_flight
+            )
+
+    def session_finished(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    # -- invariant helpers (used by tests and the fleet soak) -------------
+
+    def min_host_gap(self) -> float | None:
+        """Smallest observed gap between consecutive same-host contacts."""
+        last: dict[str, float] = {}
+        smallest: float | None = None
+        for host, at in self.contacts:
+            if host in last:
+                gap = at - last[host]
+                smallest = gap if smallest is None else min(smallest, gap)
+            last[host] = at
+        return smallest
+
+    def max_rate(self, window: float = 1.0) -> float:
+        """Highest grant count observed in any sliding ``window``."""
+        grants = sorted(self.rate_grants)
+        best = 0
+        lo = 0
+        for hi, at in enumerate(grants):
+            while at - grants[lo] > window:
+                lo += 1
+            best = max(best, hi - lo + 1)
+        return best
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Pool/politeness knobs for one live campaign."""
+
+    concurrency: int = 8
+    #: Minimum seconds between contacts (TCP connects) to one host.
+    per_host_gap: float = 0.0
+    #: Global contact budget: token-bucket rate per second (None = off).
+    rate: float | None = None
+    burst: float | None = None
+    dns_workers: int = 16
+    timeout_scale: float = 1.0
+    connect_timeout: float = 10.0
+
+
+# ---------------------------------------------------------------------------
+# The live campaign runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LiveTask:
+    position: int
+    site_index: int
+    domain: str
+    prior_attempts: int = 0
+
+
+class LiveCampaignRunner:
+    """Journaled live scan over a bounded, polite socket-probe pool."""
+
+    def __init__(
+        self,
+        targets,
+        store: ReportStore,
+        campaign: str,
+        include=None,
+        seed: int = 0,
+        resilience: ResilienceConfig | None = None,
+        resume: bool = False,
+        checkpoint_every: int = 25,
+        max_site_attempts: int = 3,
+        config: LiveConfig | None = None,
+        resolver=None,
+        progress=None,
+        metrics: LiveScanMetrics | None = None,
+    ):
+        self.targets = as_targets(targets)
+        self.store = store
+        self.campaign = campaign
+        self.include_set = _validate_include(include)
+        self.seed = seed
+        #: Live probes always run under deadlines: a stalled peer must
+        #: be cut off at its budget, not at TCP's.
+        self.resilience = resilience or ResilienceConfig()
+        self.resume = resume
+        self.checkpoint_every = checkpoint_every
+        self.max_site_attempts = max_site_attempts
+        self.config = config or LiveConfig()
+        self.progress = progress
+        self.metrics = metrics if metrics is not None else LiveScanMetrics()
+        self.dns = DnsStage(
+            resolver=resolver, workers=self.config.dns_workers
+        )
+        self.politeness = HostPoliteness(self.config.per_host_gap)
+        self.politeness.contacts = self.metrics.contacts
+        self.bucket: TokenBucket | None = None
+        if self.config.rate is not None:
+            self.bucket = TokenBucket(self.config.rate, self.config.burst)
+            self.bucket.grants = self.metrics.rate_grants
+        self._stop = threading.Event()
+        self._sched_lock = threading.Lock()
+        self._pending: deque[_LiveTask] = deque()
+        self._busy_hosts: set[str] = set()
+        self._completions: queue.Queue = queue.Queue()
+
+    # -- politeness gate (installed on every backend) ----------------------
+
+    def _gate(self, domain: str, port: int) -> None:
+        self.politeness.acquire(domain)
+        try:
+            if self.bucket is not None:
+                self.bucket.acquire()
+        finally:
+            self.politeness.commit(domain)
+
+    # -- worker side -------------------------------------------------------
+
+    def _next_task(self):
+        """Claim the next task whose host is idle (or None when done)."""
+        while not self._stop.is_set():
+            with self._sched_lock:
+                if not self._pending:
+                    return None
+                for index, task in enumerate(self._pending):
+                    if task.domain not in self._busy_hosts:
+                        del self._pending[index]
+                        self._busy_hosts.add(task.domain)
+                        return task
+            # Every remaining task's host has an in-flight session
+            # (per-host serialization); wait for one to drain.
+            time.sleep(0.01)
+        return None
+
+    def _scan_one(self, task: _LiveTask) -> SiteReport:
+        report = SiteReport(domain=task.domain)
+        backend = SocketBackend(
+            resolver=self.dns.lookup,
+            timeout_scale=self.config.timeout_scale,
+            connect_timeout=self.config.connect_timeout,
+            gate=self._gate,
+        )
+        started = time.monotonic()
+        try:
+            probe_target(
+                ProbeSession(backend),
+                task.domain,
+                include=self.include_set,
+                seed=self.seed,
+                resilience=self.resilience,
+                report=report,
+            )
+        except Exception as exc:  # noqa: BLE001 - a driver bug must not
+            # kill the worker thread; record it like any probe failure.
+            report.errors.append(make_scan_error("live", exc))
+        finally:
+            # Live scans have no virtual clock: wall seconds spent on
+            # this site stand in, feeding the journal and the ETA.
+            report.scan_virtual_time = time.monotonic() - started
+            backend.close()
+        return report
+
+    def _worker(self) -> None:
+        while True:
+            task = self._next_task()
+            if task is None:
+                return
+            self.metrics.session_started()
+            try:
+                report = self._scan_one(task)
+            finally:
+                self.metrics.session_finished()
+                with self._sched_lock:
+                    self._busy_hosts.discard(task.domain)
+            self._completions.put((task, report))
+
+    # -- journal plumbing --------------------------------------------------
+
+    def _entry(self, task: _LiveTask, report: SiteReport) -> JournalEntry:
+        attempts = task.prior_attempts + 1
+        if not report.failed:
+            status = SiteStatus.DONE
+        elif report_has_dns_error(report):
+            # Unresolvable site: quarantine immediately, never retry.
+            status = SiteStatus.QUARANTINED
+            attempts = max(attempts, self.max_site_attempts)
+        elif attempts >= self.max_site_attempts:
+            status = SiteStatus.QUARANTINED
+        else:
+            status = SiteStatus.FAILED
+        return JournalEntry(
+            site_index=task.site_index,
+            domain=task.domain,
+            status=status,
+            attempts=attempts,
+            report=report,
+            virtual_time=report.scan_virtual_time,
+            error=str(report.errors[0]) if report.failed else None,
+        )
+
+    def _dns_quarantine_report(
+        self, domain: str, fault: DnsFault
+    ) -> SiteReport:
+        report = SiteReport(domain=domain)
+        report.errors.append(
+            ScanError(
+                probe="dns",
+                error_class=ErrorClass.DNS,
+                exception=type(fault).__name__,
+                message=str(fault),
+                attempts=1,
+            )
+        )
+        return report
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        journal = CampaignJournal(self.store)
+        manifest = CampaignManifest.build(
+            self.campaign,
+            self.targets,
+            self.include_set,
+            self.seed,
+            None,
+            self.resilience,
+        )
+        if self.resume:
+            journal.resume(manifest, self.max_site_attempts)
+        else:
+            journal.begin(
+                manifest, [target.domain for target in self.targets]
+            )
+
+        todo = journal.pending(self.campaign, self.max_site_attempts)
+        counts = journal.counts(self.campaign)
+        virtual_seconds = journal.virtual_seconds(self.campaign)
+        dns_failures = journal.dns_failures(self.campaign)
+        total = len(self.targets)
+        skipped = total - len(todo)
+
+        def emit() -> None:
+            if self.progress is not None:
+                self.progress(
+                    ScanProgress(
+                        done=total - counts[SiteStatus.PENDING.value],
+                        total=total,
+                        errors=counts[SiteStatus.FAILED.value]
+                        + counts[SiteStatus.QUARANTINED.value],
+                        quarantined=counts[SiteStatus.QUARANTINED.value],
+                        dns_failures=dns_failures,
+                        virtual_seconds=virtual_seconds,
+                    )
+                )
+
+        def settle(task: _LiveTask, entry: JournalEntry) -> None:
+            nonlocal virtual_seconds, dns_failures
+            if task.prior_attempts > 0:  # a retried failure leaves 'failed'
+                counts[SiteStatus.FAILED.value] -= 1
+            else:
+                counts[SiteStatus.PENDING.value] -= 1
+            counts[entry.status.value] += 1
+            if entry.report.failed and report_has_dns_error(entry.report):
+                dns_failures += 1
+            virtual_seconds += entry.virtual_time
+
+        # -- DNS stage: quarantine unresolvable sites up front ------------
+        resolution = self.dns.resolve_all([domain for _, domain, _ in todo])
+        batch: list[JournalEntry] = []
+        scanned = 0
+        scan_tasks: list[_LiveTask] = []
+        for position, (site_index, domain, prior_attempts) in enumerate(todo):
+            fault = resolution.get(domain)
+            if fault is not None:
+                task = _LiveTask(position, site_index, domain, prior_attempts)
+                entry = self._entry(
+                    task, self._dns_quarantine_report(domain, fault)
+                )
+                batch.append(entry)
+                settle(task, entry)
+                scanned += 1
+                self.metrics.dns_quarantined += 1
+            else:
+                scan_tasks.append(
+                    _LiveTask(position, site_index, domain, prior_attempts)
+                )
+        if batch:
+            journal.checkpoint(self.campaign, batch)
+            batch = []
+        emit()
+
+        # -- the pool ------------------------------------------------------
+        self._pending.extend(scan_tasks)
+        pool_size = min(self.config.concurrency, len(scan_tasks))
+        workers = [
+            threading.Thread(
+                target=self._worker, name=f"h2scope-live-{i}", daemon=True
+            )
+            for i in range(pool_size)
+        ]
+        for worker in workers:
+            worker.start()
+
+        received = 0
+        try:
+            while received < len(scan_tasks):
+                try:
+                    task, report = self._completions.get(timeout=0.25)
+                except queue.Empty:
+                    if not any(w.is_alive() for w in workers):
+                        break  # defensive: pool died, don't spin forever
+                    continue
+                received += 1
+                scanned += 1
+                entry = self._entry(task, report)
+                batch.append(entry)
+                settle(task, entry)
+                if len(batch) >= max(1, self.checkpoint_every):
+                    journal.checkpoint(self.campaign, batch)
+                    batch = []
+                emit()
+        except (KeyboardInterrupt, SystemExit):
+            self._stop.set()
+            journal.checkpoint(self.campaign, batch)
+            raise CampaignInterrupted(
+                self.campaign,
+                flushed=scanned,
+                remaining=len(todo) - scanned,
+            ) from None
+        finally:
+            self._stop.set()
+            for worker in workers:
+                # In-flight sessions are deadline-bounded; join so no
+                # daemon thread outlives the campaign.
+                worker.join(timeout=60)
+
+        journal.checkpoint(self.campaign, batch)
+        return CampaignResult(
+            campaign=self.campaign,
+            total=total,
+            scanned=scanned,
+            skipped=skipped,
+            counts=journal.counts(self.campaign),
+            virtual_seconds=virtual_seconds,
+        )
+
+
+def run_live_campaign(
+    targets,
+    store: ReportStore,
+    campaign: str,
+    include=None,
+    seed: int = 0,
+    resilience: ResilienceConfig | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 25,
+    max_site_attempts: int = 3,
+    config: LiveConfig | None = None,
+    resolver=None,
+    progress=None,
+    metrics: LiveScanMetrics | None = None,
+) -> CampaignResult:
+    """Journaled live scan of ``targets`` over real TCP sockets.
+
+    The wall-clock sibling of
+    :func:`~repro.scope.scanner.run_campaign`: same journal, same
+    manifest validation, same resume/quarantine semantics — but sites
+    are probed concurrently by a bounded pool with per-host politeness,
+    global rate limiting, and a DNS pre-stage (see the module
+    docstring).  ``resolver`` maps ``(domain, port)`` to real addresses
+    for hermetic fleets; ``None`` uses the system resolver.
+    """
+    return LiveCampaignRunner(
+        targets,
+        store,
+        campaign,
+        include=include,
+        seed=seed,
+        resilience=resilience,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        max_site_attempts=max_site_attempts,
+        config=config,
+        resolver=resolver,
+        progress=progress,
+        metrics=metrics,
+    ).run()

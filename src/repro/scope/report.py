@@ -16,12 +16,16 @@ class ErrorClass(enum.Enum):
 
     ``TRANSIENT`` failures (refused/reset connections) are worth
     retrying; ``TIMEOUT`` means the per-probe virtual-time budget ran
-    out (stalled or blackholed peer); ``FATAL`` covers everything a
-    retry cannot fix (TLS corruption, protocol violations, bugs).
+    out (stalled or blackholed peer); ``DNS`` means the target never
+    resolved to an address (dead domain, NXDOMAIN, empty answer) — the
+    live campaign quarantines these up front instead of spending
+    connect/retry budget on them; ``FATAL`` covers everything a retry
+    cannot fix (TLS corruption, protocol violations, bugs).
     """
 
     TRANSIENT = "transient"
     TIMEOUT = "timeout"
+    DNS = "dns"
     FATAL = "fatal"
 
 

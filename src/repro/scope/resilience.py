@@ -22,6 +22,7 @@ scanner-side half of the fault story (the injection half lives in
 from __future__ import annotations
 
 import random
+import socket
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -48,6 +49,17 @@ class ConnectionResetFault(ScanFault):
     error_class = ErrorClass.TRANSIENT
 
 
+class DnsFault(ScanFault):
+    """The target domain never resolved to an address.
+
+    Carries its own :class:`ErrorClass` so campaigns can quarantine
+    unresolvable sites up front (no connect attempts, no retry budget)
+    and report them separately from dead-but-resolvable hosts.
+    """
+
+    error_class = ErrorClass.DNS
+
+
 class ProbeTimeout(ScanFault):
     """The peer went silent past the probe's virtual-time budget."""
 
@@ -68,6 +80,8 @@ def classify_exception(exc: BaseException) -> ErrorClass:
     """Map any exception onto the transient/timeout/fatal taxonomy."""
     if isinstance(exc, ScanFault):
         return exc.error_class
+    if isinstance(exc, socket.gaierror):  # an OSError subclass: check first
+        return ErrorClass.DNS
     if isinstance(exc, TimeoutError):  # an OSError subclass: check first
         return ErrorClass.TIMEOUT
     if isinstance(exc, (ConnectionError, OSError)):

@@ -39,7 +39,7 @@ from repro.scope.probes import (
     probe_zero_window_headers,
     probe_zero_window_update,
 )
-from repro.scope.report import SiteReport
+from repro.scope.report import ErrorClass, SiteReport
 from repro.scope.resilience import (
     ResilienceConfig,
     make_scan_error,
@@ -68,6 +68,14 @@ def _validate_include(include: Iterable[str] | None) -> set[str]:
     return include_set
 
 
+def report_has_dns_error(report: SiteReport) -> bool:
+    """Whether any of the report's errors is DNS-classified."""
+    return any(
+        getattr(error, "error_class", None) is ErrorClass.DNS
+        for error in report.errors
+    )
+
+
 @dataclass(frozen=True)
 class ScanProgress:
     """One progress tick: completion, failures and a virtual-time ETA."""
@@ -77,6 +85,9 @@ class ScanProgress:
     #: Sites whose report carries errors (failed + quarantined so far).
     errors: int = 0
     quarantined: int = 0
+    #: Sites whose failure was name resolution (a subset of ``errors``;
+    #: only wall-clock campaigns with a DNS stage produce these).
+    dns_failures: int = 0
     #: Cumulative virtual seconds spent across per-site universes.
     virtual_seconds: float = 0.0
 
@@ -110,12 +121,14 @@ class ProgressAggregator:
         done: int = 0,
         errors: int = 0,
         quarantined: int = 0,
+        dns_failures: int = 0,
         virtual_seconds: float = 0.0,
     ):
         self.total = total
         self.done = done
         self.errors = errors
         self.quarantined = quarantined
+        self.dns_failures = dns_failures
         self.virtual_seconds = virtual_seconds
 
     def record(self, report: SiteReport, quarantined: bool = False) -> None:
@@ -125,6 +138,8 @@ class ProgressAggregator:
             self.errors += 1
         if quarantined:
             self.quarantined += 1
+        if report_has_dns_error(report):
+            self.dns_failures += 1
         self.virtual_seconds += report.scan_virtual_time
 
     def snapshot(self) -> ScanProgress:
@@ -133,6 +148,7 @@ class ProgressAggregator:
             total=self.total,
             errors=self.errors,
             quarantined=self.quarantined,
+            dns_failures=self.dns_failures,
             virtual_seconds=self.virtual_seconds,
         )
 
@@ -409,6 +425,7 @@ def run_campaign(
     todo = journal.pending(campaign, max_site_attempts)
     counts = journal.counts(campaign)
     virtual_seconds = journal.virtual_seconds(campaign)
+    dns_failures = journal.dns_failures(campaign)
     total = len(sites)
     skipped = total - len(todo)
 
@@ -424,6 +441,7 @@ def run_campaign(
                     errors=counts[SiteStatus.FAILED.value]
                     + counts[SiteStatus.QUARANTINED.value],
                     quarantined=counts[SiteStatus.QUARANTINED.value],
+                    dns_failures=dns_failures,
                     virtual_seconds=virtual_seconds,
                 )
             )
@@ -480,6 +498,8 @@ def run_campaign(
             else:
                 counts[SiteStatus.PENDING.value] -= 1
             counts[status.value] += 1
+            if report.failed and report_has_dns_error(report):
+                dns_failures += 1
             virtual_seconds += report.scan_virtual_time
             if len(batch) >= max(1, checkpoint_every):
                 journal.checkpoint(campaign, batch)

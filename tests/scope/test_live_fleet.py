@@ -1,0 +1,353 @@
+"""ISSUE 6 proving ground: live campaigns against a loopback fleet.
+
+One module-scoped fleet (simulated vendor engines on real loopback TCP
+plus planted refuse/stall/blackhole/unresolvable faults) is scanned by
+one live campaign; the tests then assert, against that shared run:
+
+* every fault class lands in the right journal state with the right
+  error taxonomy (DNS quarantines, stalls cut at the probe budget,
+  refusals classified transient);
+* the pool and politeness invariants held throughout — in-flight
+  sessions never exceeded ``concurrency``, no host was contacted twice
+  within the per-host gap, the global contact rate stayed under the
+  token bucket's bound — *while* workers were hitting faults;
+* healthy sites' verdicts match a simulated scan of the same seeded
+  population verdict-for-verdict (:func:`verdict_view`);
+* a campaign SIGKILLed mid-flight and resumed in a fresh process (new
+  fleet, new ephemeral ports, same journal) converges to the same
+  final report as an uninterrupted run.
+
+Scale is environment-driven so the same file is the tier-1 test, the
+per-push CI fleet job and the weekly soak:
+
+* ``H2SCOPE_FLEET_SITES`` / ``H2SCOPE_FLEET_CONCURRENCY`` — population
+  and pool size (defaults 12 / 6, CI uses 100 / 32);
+* ``H2SCOPE_FLEET_SOAK=1`` — the weekly configuration (at least 200
+  listeners, concurrency 32).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scope.campaign import CampaignJournal, SiteStatus
+from repro.scope.live import (
+    LiveConfig,
+    LiveScanMetrics,
+    run_live_campaign,
+    verdict_view,
+)
+from repro.scope.report import ErrorClass
+from repro.scope.resilience import ResilienceConfig
+from repro.scope.scanner import scan_site
+from repro.scope.storage import ReportStore
+from repro.servers.fleet import (
+    BLACKHOLE,
+    HEALTHY,
+    REFUSE,
+    STALL,
+    UNRESOLVABLE,
+    FleetPlan,
+    LoopbackFleet,
+)
+
+SOAK = os.environ.get("H2SCOPE_FLEET_SOAK") == "1"
+
+
+def fleet_scale() -> tuple[int, int]:
+    if SOAK:
+        return (
+            max(200, int(os.environ.get("H2SCOPE_FLEET_SITES", "200"))),
+            max(32, int(os.environ.get("H2SCOPE_FLEET_CONCURRENCY", "32"))),
+        )
+    return (
+        int(os.environ.get("H2SCOPE_FLEET_SITES", "12")),
+        int(os.environ.get("H2SCOPE_FLEET_CONCURRENCY", "6")),
+    )
+
+
+def fleet_plan() -> FleetPlan:
+    sites, _ = fleet_scale()
+    per_fault = max(1, sites // 12)
+    return FleetPlan(
+        sites=sites,
+        seed=17,
+        refuse=per_fault,
+        stall=per_fault,
+        blackhole=1 if sites >= 12 else 0,
+        unresolvable=per_fault,
+    )
+
+
+#: Politeness knobs for the shared campaign.
+PER_HOST_GAP = 0.2
+RATE = 40.0
+BURST = 10.0
+#: Per-probe budget: 40 virtual seconds compressed to 6 wall seconds.
+RESILIENCE = ResilienceConfig(timeout=40.0, retries=1)
+TIMEOUT_SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def fleet_campaign(tmp_path_factory):
+    """Build the fleet, run ONE live campaign, share the evidence."""
+    plan = fleet_plan()
+    _, concurrency = fleet_scale()
+    db = tmp_path_factory.mktemp("fleet") / "campaign.db"
+    metrics = LiveScanMetrics()
+    ticks = []
+    with LoopbackFleet(plan) as fleet:
+        with ReportStore(db) as store:
+            result = run_live_campaign(
+                fleet.domains,
+                store,
+                "fleet",
+                seed=plan.seed,
+                resilience=RESILIENCE,
+                config=LiveConfig(
+                    concurrency=concurrency,
+                    per_host_gap=PER_HOST_GAP,
+                    rate=RATE,
+                    burst=BURST,
+                    timeout_scale=TIMEOUT_SCALE,
+                    connect_timeout=1.0,
+                ),
+                resolver=fleet.resolver(),
+                metrics=metrics,
+                progress=ticks.append,
+            )
+            journal = CampaignJournal(store)
+            yield {
+                "plan": plan,
+                "concurrency": concurrency,
+                "fleet": fleet,
+                "store": store,
+                "result": result,
+                "metrics": metrics,
+                "ticks": ticks,
+                "statuses": journal.statuses("fleet"),
+                "dns_failures": journal.dns_failures("fleet"),
+            }
+
+
+class TestFaultClassification:
+    def test_healthy_sites_complete(self, fleet_campaign):
+        fleet = fleet_campaign["fleet"]
+        statuses = fleet_campaign["statuses"]
+        for domain in fleet.domains_with(HEALTHY):
+            status, attempts = statuses[domain]
+            assert status is SiteStatus.DONE, domain
+            assert attempts == 1
+
+    def test_unresolvable_sites_dns_quarantined_without_budget(
+        self, fleet_campaign
+    ):
+        fleet = fleet_campaign["fleet"]
+        store = fleet_campaign["store"]
+        unresolvable = fleet.domains_with(UNRESOLVABLE)
+        assert unresolvable
+        for domain in unresolvable:
+            status, _ = fleet_campaign["statuses"][domain]
+            assert status is SiteStatus.QUARANTINED, domain
+            report = store.load("fleet", domain)
+            assert report.errors[0].probe == "dns"
+            assert report.errors[0].error_class is ErrorClass.DNS
+        assert fleet_campaign["dns_failures"] == len(unresolvable)
+        assert fleet_campaign["metrics"].dns_quarantined == len(unresolvable)
+        assert fleet_campaign["ticks"][-1].dns_failures == len(unresolvable)
+
+    def test_stalled_sites_cut_by_probe_deadline(self, fleet_campaign):
+        fleet = fleet_campaign["fleet"]
+        store = fleet_campaign["store"]
+        for domain in fleet.domains_with(STALL):
+            status, _ = fleet_campaign["statuses"][domain]
+            assert status is SiteStatus.FAILED, domain
+            report = store.load("fleet", domain)
+            assert any(
+                error.error_class is ErrorClass.TIMEOUT
+                for error in report.errors
+            ), domain
+
+    def test_refusing_sites_classified_transient(self, fleet_campaign):
+        fleet = fleet_campaign["fleet"]
+        store = fleet_campaign["store"]
+        for domain in fleet.domains_with(REFUSE):
+            status, _ = fleet_campaign["statuses"][domain]
+            assert status is SiteStatus.FAILED, domain
+            report = store.load("fleet", domain)
+            error = report.errors[0]
+            assert error.error_class is ErrorClass.TRANSIENT, domain
+            assert error.attempts == RESILIENCE.retries + 1  # budget spent
+
+    def test_blackholed_sites_fail_within_connect_timeout(
+        self, fleet_campaign
+    ):
+        fleet = fleet_campaign["fleet"]
+        store = fleet_campaign["store"]
+        for domain in fleet.domains_with(BLACKHOLE):
+            status, _ = fleet_campaign["statuses"][domain]
+            assert status is SiteStatus.FAILED, domain
+            report = store.load("fleet", domain)
+            assert report.errors[0].error_class in (
+                ErrorClass.TRANSIENT,
+                ErrorClass.TIMEOUT,
+            ), domain
+
+
+class TestPoolAndPolitenessInvariants:
+    """The ISSUE's hard invariants, measured across the faulty run."""
+
+    def test_in_flight_never_exceeded_concurrency(self, fleet_campaign):
+        metrics = fleet_campaign["metrics"]
+        assert 1 <= metrics.concurrency_high_water
+        assert metrics.concurrency_high_water <= fleet_campaign["concurrency"]
+        assert metrics.in_flight == 0  # the pool drained completely
+
+    def test_no_host_contacted_twice_within_gap(self, fleet_campaign):
+        metrics = fleet_campaign["metrics"]
+        assert metrics.contacts  # probes really contacted hosts
+        smallest = metrics.min_host_gap()
+        if smallest is not None:  # None: no host needed two contacts
+            assert smallest >= PER_HOST_GAP - 1e-3
+
+    def test_global_contact_rate_bounded_by_token_bucket(
+        self, fleet_campaign
+    ):
+        metrics = fleet_campaign["metrics"]
+        assert metrics.rate_grants  # the bucket really arbitrated
+        # Token-bucket guarantee: grants in any 1s window never exceed
+        # burst + rate (plus the closed-interval fencepost).
+        assert metrics.max_rate(window=1.0) <= BURST + RATE + 1
+
+    def test_every_contact_paid_a_token(self, fleet_campaign):
+        metrics = fleet_campaign["metrics"]
+        assert len(metrics.rate_grants) == len(metrics.contacts)
+
+
+class TestVerdictDifferential:
+    def test_live_verdicts_match_simulated_verdicts(self, fleet_campaign):
+        """The fleet's healthy engines are seeded exactly like
+        ``deploy_site``, so a simulated scan of the same Site must agree
+        with the live scan on every behavioural field."""
+        fleet = fleet_campaign["fleet"]
+        store = fleet_campaign["store"]
+        plan = fleet_campaign["plan"]
+        healthy = fleet.healthy_sites()
+        assert healthy
+        for site in healthy:
+            live = store.load("fleet", site.domain)
+            simulated = scan_site(site, seed=plan.seed)
+            assert verdict_view(live) == verdict_view(simulated), site.domain
+
+
+#: Rebuilds the kill-fleet deterministically in a child process, scans
+#: it, and SIGKILLs itself once the journal has absorbed ``cut`` sites.
+KILL_SCRIPT = """
+import os, signal, sys
+from repro.scope.live import LiveConfig, run_live_campaign
+from repro.scope.resilience import ResilienceConfig
+from repro.scope.storage import ReportStore
+from repro.servers.fleet import FleetPlan, LoopbackFleet
+
+db, cut = sys.argv[1], int(sys.argv[2])
+plan = FleetPlan(sites=8, seed=23, refuse=1, unresolvable=1)
+
+def kill(progress):
+    if progress.done >= cut:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+with LoopbackFleet(plan) as fleet:
+    with ReportStore(db) as store:
+        run_live_campaign(
+            fleet.domains, store, "kill", seed=plan.seed,
+            include={"negotiation", "settings", "ping", "hpack"},
+            resilience=ResilienceConfig(timeout=40.0, retries=1),
+            config=LiveConfig(concurrency=4, timeout_scale=0.15,
+                              connect_timeout=1.0),
+            resolver=fleet.resolver(), max_site_attempts=1,
+            checkpoint_every=2, progress=kill,
+        )
+sys.exit(3)  # SIGKILL never fired: the harness is broken
+"""
+
+KILL_PLAN = FleetPlan(sites=8, seed=23, refuse=1, unresolvable=1)
+KILL_INCLUDE = {"negotiation", "settings", "ping", "hpack"}
+
+
+def run_kill_campaign(store, resume: bool) -> dict:
+    """One (possibly resuming) pass over a fresh kill-plan fleet.
+
+    Every pass builds its own fleet: engines are freshly seeded per
+    domain, and resumed sites are each probed exactly once from a fresh
+    engine — the precondition for verdict-level convergence.
+    """
+    with LoopbackFleet(KILL_PLAN) as fleet:
+        run_live_campaign(
+            fleet.domains,
+            store,
+            "kill",
+            seed=KILL_PLAN.seed,
+            include=KILL_INCLUDE,
+            resilience=ResilienceConfig(timeout=40.0, retries=1),
+            config=LiveConfig(
+                concurrency=4, timeout_scale=0.15, connect_timeout=1.0
+            ),
+            resolver=fleet.resolver(),
+            max_site_attempts=1,
+            checkpoint_every=2,
+            resume=resume,
+        )
+    journal = CampaignJournal(store)
+    statuses = journal.statuses("kill")
+    verdicts = {
+        domain: verdict_view(store.load("kill", domain))
+        for domain, (status, _) in statuses.items()
+        if status is SiteStatus.DONE
+    }
+    return {
+        "statuses": {
+            domain: status.value for domain, (status, _) in statuses.items()
+        },
+        "verdicts": verdicts,
+        "dns": journal.dns_failures("kill"),
+    }
+
+
+class TestKillResumeConvergence:
+    def test_sigkilled_campaign_resumes_to_the_same_report(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+
+        baseline_db = tmp_path / "baseline.db"
+        with ReportStore(baseline_db) as store:
+            baseline = run_kill_campaign(store, resume=False)
+
+        killed_db = tmp_path / "killed.db"
+        proc = subprocess.run(
+            [sys.executable, "-c", KILL_SCRIPT, str(killed_db), "3"],
+            env={**os.environ, "PYTHONPATH": src},
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        with ReportStore(killed_db) as store:
+            journal = CampaignJournal(store)
+            flushed = sum(
+                1
+                for status, _ in journal.statuses("kill").values()
+                if status is not SiteStatus.PENDING
+            )
+            # SIGKILL loses at most the unflushed tail, never a torn row.
+            assert 0 < flushed < KILL_PLAN.sites
+            resumed = run_kill_campaign(store, resume=True)
+
+        assert resumed["statuses"] == baseline["statuses"]
+        assert resumed["dns"] == baseline["dns"]
+        assert resumed["verdicts"].keys() == baseline["verdicts"].keys()
+        for domain, verdict in baseline["verdicts"].items():
+            assert resumed["verdicts"][domain] == verdict, domain
