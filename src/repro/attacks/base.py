@@ -1,0 +1,130 @@
+"""The unified attack contract (ISSUE 7 satellite).
+
+Every attack in :mod:`repro.attacks` — the three §VI resource
+studies that predate the battery and the six slow-rate behaviour
+profiles — is described by one :class:`AttackProfile` and produces one
+:class:`AttackResult`, so the battery runner, the CLI and the corpus
+builder can treat them uniformly.
+
+Two kinds exist:
+
+* **battery** profiles carry a ``behaviour`` callable driven by
+  :func:`repro.attacks.battery.run_attack` against any vendor engine
+  on either transport backend;
+* **legacy** profiles wrap the original §VI study runners
+  (:func:`run_slow_read_attack` and friends) whose knobs predate the
+  vendor/backend axes; their ad-hoc reports ride along in
+  :attr:`AttackResult.details`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run against one server."""
+
+    profile: str
+    vendor: str
+    backend: str = "sim"
+    guards_enabled: bool = False
+    #: Attack length the runner aimed for (seconds).
+    duration: float = 0.0
+    #: Whether a connection (and, where applicable, h2) was established.
+    connected: bool = False
+    #: Connection still open when the attack window ended.
+    survived: bool = False
+    #: Seconds the connection was held open, from established to
+    #: eviction (or to the end of the attack window).
+    held_seconds: float = 0.0
+    #: The server terminated us (guard breach or native defence).
+    evicted: bool = False
+    #: Seconds from connection established to observed eviction.
+    eviction_at: float | None = None
+    #: The guard deadline the eviction was expected within (None when
+    #: guards were off or no knob covers this attack).
+    eviction_deadline: float | None = None
+    goaway_observed: bool = False
+    goaway_error: int | None = None
+    goaway_debug: bytes = b""
+    #: Guard breaches the server logged (empty on guards-off runs).
+    guard_reasons: list[str] = field(default_factory=list)
+    frames_sent: int = 0
+    # -- resource peaks sampled on the server --------------------------
+    peak_pinned_bytes: int = 0
+    peak_stream_states: int = 0
+    peak_hpack_bytes: int = 0
+    peak_assembly_bytes: int = 0
+    #: (elapsed_seconds, pinned_response_bytes) samples over the run.
+    samples: list[tuple[float, int]] = field(default_factory=list)
+    #: Legacy report object (the pre-battery attacks) or extra metrics.
+    details: Any = None
+    #: Server-side :class:`~repro.scope.trace.ConnectionTimeline`s when
+    #: the run recorded frames (corpus building); never serialized.
+    timelines: list = field(default_factory=list)
+
+    def row(self) -> dict:
+        """JSON-able summary row (deterministic in the seed on sim)."""
+        return {
+            "profile": self.profile,
+            "vendor": self.vendor,
+            "backend": self.backend,
+            "guards": self.guards_enabled,
+            "connected": self.connected,
+            "survived": self.survived,
+            "held_seconds": round(self.held_seconds, 4),
+            "evicted": self.evicted,
+            "eviction_at": (
+                None if self.eviction_at is None else round(self.eviction_at, 4)
+            ),
+            "eviction_deadline": self.eviction_deadline,
+            "goaway": self.goaway_observed,
+            "goaway_error": self.goaway_error,
+            "goaway_debug": self.goaway_debug.decode("latin-1"),
+            "guard_reasons": list(self.guard_reasons),
+            "frames_sent": self.frames_sent,
+            "peak_pinned_bytes": self.peak_pinned_bytes,
+            "peak_stream_states": self.peak_stream_states,
+            "peak_hpack_bytes": self.peak_hpack_bytes,
+            "peak_assembly_bytes": self.peak_assembly_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class AttackProfile:
+    """One attack as a named, runnable client behaviour."""
+
+    name: str
+    summary: str
+    #: ``"slow-rate"`` (the battery family), ``"flood"`` (rate abuse)
+    #: or ``"resource"`` (the legacy §VI memory/CPU studies).
+    kind: str = "slow-rate"
+    #: Battery behaviour: drives an ``AttackRun`` (see battery module).
+    behaviour: Callable | None = None
+    #: SETTINGS the attacking client announces.
+    client_settings: dict[int, int] = field(default_factory=dict)
+    auto_window_update: bool = False
+    #: The engine guard knob expected to evict this attack, for the
+    #: survival matrix's deadline column (None = rate-window based).
+    guard_knob: str | None = None
+    #: Legacy runner returning an :class:`AttackResult` directly.
+    legacy_runner: Callable[..., AttackResult] | None = None
+
+    @property
+    def is_battery(self) -> bool:
+        return self.behaviour is not None
+
+    def run(self, vendor: str = "nginx", **kwargs) -> AttackResult:
+        """Run this attack; battery profiles accept the full axis set
+        (vendor/backend/guards/duration/seed), legacy ones their
+        original knobs."""
+        if self.behaviour is not None:
+            from repro.attacks.battery import run_attack
+
+            return run_attack(self, vendor, **kwargs)
+        assert self.legacy_runner is not None, self.name
+        kwargs.pop("vendor", None)
+        return self.legacy_runner(**kwargs)

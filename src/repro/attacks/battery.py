@@ -1,0 +1,662 @@
+"""The slow-HTTP/2 DoS battery (ISSUE 7 tentpole, after Tripathi's
+*Delays have Dangerous Ends*).
+
+Six client-side behaviour profiles model the slow-rate attack family:
+
+* ``slow_preface`` — complete the TLS hello, then drip the 24-byte h2
+  connection preface one byte at a time, never finishing it;
+* ``slow_headers`` — open a request HEADERS frame without END_HEADERS
+  and trickle its block through 1-byte CONTINUATION frames;
+* ``zero_window_stall`` — announce SETTINGS_INITIAL_WINDOW_SIZE 0,
+  request large objects on many streams, never grant window;
+* ``ping_flood`` — sustained non-ack PING volleys;
+* ``settings_flood`` — sustained empty (non-ack) SETTINGS frames, each
+  of which the server must ack;
+* ``rst_churn`` — open-and-immediately-reset request streams
+  (rapid-reset), forcing allocation and teardown work per stream.
+
+Each profile runs against any vendor engine over the simulated backend
+or the loopback bridge, with abuse guards off (reproducing the 2016
+exposure) or with per-vendor hardened defaults
+(:data:`repro.servers.vendors.DEFAULT_GUARDS`).  :func:`run_battery`
+sweeps the profile × vendor grid into a :class:`SurvivalMatrix`; on
+the simulated backend the matrix is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.h2 import events as ev
+from repro.h2.constants import CONNECTION_PREFACE
+from repro.h2.frames import (
+    ContinuationFrame,
+    GoAwayFrame,
+    HeadersFrame,
+    parse_frames,
+)
+from repro.net.clock import Simulation
+from repro.net.transport import LinkProfile, Network
+from repro.scope.client import H2, ScopeClient
+from repro.servers.profiles import AbuseGuards
+from repro.servers.site import Site, deploy_site
+from repro.servers.vendors import (
+    POPULATION_FACTORIES,
+    VENDOR_FACTORIES,
+    vendor_guards,
+)
+from repro.servers.website import Resource, Website
+
+from repro.attacks.base import AttackProfile, AttackResult
+
+#: Default attack window, seconds.  Long enough that every per-vendor
+#: guard deadline (max 12 s) falls inside it with room to observe the
+#: eviction, and that a guards-off run demonstrably *holds*.
+DEFAULT_DURATION = 16.0
+
+
+def _attack_website(objects: int = 32, object_size: int = 120_000) -> Website:
+    site = Website()
+    for i in range(objects):
+        site.add(
+            Resource(f"/victim/{i}.bin", object_size, "application/octet-stream")
+        )
+    site.add(Resource("/", 1_000, "text/html"))
+    return site
+
+
+# ----------------------------------------------------------------------
+# The per-run driver handed to behaviours
+# ----------------------------------------------------------------------
+
+
+class AttackRun:
+    """Clock, eviction watching and metric sampling for one attack."""
+
+    def __init__(
+        self,
+        client: ScopeClient,
+        result: AttackResult,
+        duration: float,
+        step: float,
+        sampler=None,
+        knobs: dict | None = None,
+    ):
+        self.client = client
+        self.result = result
+        self.duration = duration
+        self.step = step
+        self.sampler = sampler
+        self.knobs = dict(knobs or {})
+        self.started_at: float | None = None
+        self.eviction_noticed_at: float | None = None
+        self.samples: list[tuple[float, int]] = []
+        self.peaks = {"pinned": 0, "streams": 0, "hpack": 0, "assembly": 0}
+        self.bytes_sent = 0
+
+    def knob(self, name: str, default):
+        return self.knobs.get(name, default)
+
+    def begin(self) -> None:
+        """Mark the connection established; the attack clock starts."""
+        self.started_at = self.client.now
+        self.result.connected = True
+        self.sample()
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.client.now - self.started_at
+
+    @property
+    def over(self) -> bool:
+        return self.elapsed >= self.duration - 1e-9
+
+    @property
+    def evicted(self) -> bool:
+        """Has the server terminated us (GOAWAY seen or socket closed)?"""
+        client = self.client
+        if client.peer_closed:
+            return True
+        if any(isinstance(te.event, ev.GoAwayReceived) for te in client.events):
+            return True
+        if client.conn is None and self._limbo_goaway() is not None:
+            return True
+        return False
+
+    def _limbo_goaway(self) -> GoAwayFrame | None:
+        """GOAWAY parsed out of pre-engine bytes (slow-preface has no
+        protocol engine attached, but the server's frames still arrive)."""
+        data = bytes(getattr(self.client, "_limbo_buffer", b""))
+        if not data:
+            return None
+        try:
+            frames, _remainder = parse_frames(data)
+        except Exception:
+            return None
+        for frame in frames:
+            if isinstance(frame, GoAwayFrame):
+                return frame
+        return None
+
+    def tick(self, dt: float) -> None:
+        """Let ``dt`` seconds pass (early-exits once evicted), then
+        sample the server's resource state."""
+        self.client.wait_for(lambda: self.evicted, timeout=dt)
+        if self.evicted and self.eviction_noticed_at is None:
+            self.eviction_noticed_at = self.client.now
+        self.sample()
+
+    def sample(self) -> None:
+        if self.sampler is None:
+            return
+        try:
+            metrics = self.sampler()
+        except RuntimeError:
+            # Loopback sampling races the engine thread; skip the beat.
+            return
+        for key in self.peaks:
+            self.peaks[key] = max(self.peaks[key], metrics.get(key, 0))
+        self.samples.append((round(self.elapsed, 4), metrics.get("pinned", 0)))
+
+    def finish(self) -> None:
+        """Fold the run's observations into the result."""
+        result = self.result
+        client = self.client
+        result.samples = self.samples
+        result.peak_pinned_bytes = self.peaks["pinned"]
+        result.peak_stream_states = self.peaks["streams"]
+        result.peak_hpack_bytes = self.peaks["hpack"]
+        result.peak_assembly_bytes = self.peaks["assembly"]
+        if client.conn is not None:
+            result.frames_sent = len(client.conn.sent_frame_log)
+        else:
+            result.frames_sent = self.bytes_sent
+        if self.started_at is None:
+            return
+
+        goaway_at: float | None = None
+        goaway: GoAwayFrame | ev.GoAwayReceived | None = None
+        for te in client.events:
+            if isinstance(te.event, ev.GoAwayReceived):
+                goaway, goaway_at = te.event, te.at
+                break
+        if goaway is None:
+            goaway = self._limbo_goaway()
+        if goaway is not None:
+            result.goaway_observed = True
+            result.goaway_error = goaway.error_code
+            result.goaway_debug = goaway.debug_data
+        if goaway is not None or client.peer_closed:
+            result.evicted = True
+            noticed = self.eviction_noticed_at
+            at = goaway_at if goaway_at is not None else noticed
+            if at is None:
+                at = client.now
+            result.eviction_at = max(0.0, at - self.started_at)
+            result.held_seconds = result.eviction_at
+        else:
+            # Clamp: the post-run drain advances the clock a little.
+            result.held_seconds = min(self.elapsed, self.duration)
+        result.survived = not result.evicted
+
+
+# ----------------------------------------------------------------------
+# Behaviours
+# ----------------------------------------------------------------------
+
+
+def _behave_slow_preface(run: AttackRun) -> None:
+    client = run.client
+    if not client.connect():
+        return
+    client.tls_handshake()
+    if client.tls.chosen != H2:
+        return
+    run.begin()
+    preface = CONNECTION_PREFACE
+    # One byte at a time, paced so the preface can never complete
+    # inside the attack window (and the final byte is never sent).
+    interval = run.knob("interval", run.duration / (2 * len(preface)) * 4)
+    sent = 0
+    while not run.over and not run.evicted:
+        if sent < len(preface) - 1:
+            client.endpoint.send(preface[sent : sent + 1])
+            run.bytes_sent += 1
+            sent += 1
+        run.tick(interval)
+
+
+def _behave_slow_headers(run: AttackRun) -> None:
+    client = run.client
+    if not client.establish_h2():
+        return
+    run.begin()
+    conn = client.conn
+    assert conn is not None
+    stream_id = conn.next_stream_id()
+    headers = [
+        (":method", "GET"),
+        (":scheme", "https"),
+        (":path", "/"),
+        (":authority", client.domain),
+    ]
+    headers += [(f"x-drip-{i:02d}", "d" * 48) for i in range(24)]
+    block = conn.encoder.encode(headers)
+    # HEADERS without END_HEADERS opens the assembly; the block then
+    # trickles through 1-byte CONTINUATIONs and never terminates.
+    conn.send_raw_frame(HeadersFrame(stream_id=stream_id, header_block=block[:1]))
+    client.flush()
+    position = 1
+    interval = run.knob("interval", 0.25)
+    while not run.over and not run.evicted:
+        if position < len(block) - 1:
+            conn.send_raw_frame(
+                ContinuationFrame(
+                    stream_id=stream_id,
+                    header_block=block[position : position + 1],
+                )
+            )
+            client.flush()
+            position += 1
+        run.tick(interval)
+
+
+def _behave_zero_window_stall(run: AttackRun) -> None:
+    client = run.client
+    if not client.establish_h2():
+        return
+    run.begin()
+    for i in range(int(run.knob("streams", 16))):
+        client.request(f"/victim/{i}.bin")
+    while not run.over and not run.evicted:
+        run.tick(run.step)
+
+
+def _behave_ping_flood(run: AttackRun) -> None:
+    client = run.client
+    if not client.establish_h2():
+        return
+    run.begin()
+    rate = float(run.knob("rate", 400.0))
+    burst = int(run.knob("burst", 20))
+    sequence = 0
+    while not run.over and not run.evicted:
+        assert client.conn is not None
+        for _ in range(burst):
+            client.conn.send_ping(sequence.to_bytes(8, "big"))
+            sequence += 1
+        client.flush()
+        run.tick(burst / rate)
+
+
+def _behave_settings_flood(run: AttackRun) -> None:
+    client = run.client
+    if not client.establish_h2():
+        return
+    run.begin()
+    rate = float(run.knob("rate", 100.0))
+    burst = int(run.knob("burst", 5))
+    while not run.over and not run.evicted:
+        assert client.conn is not None
+        for _ in range(burst):
+            client.conn.send_settings({})
+        client.flush()
+        run.tick(burst / rate)
+
+
+def _behave_rst_churn(run: AttackRun) -> None:
+    client = run.client
+    if not client.establish_h2():
+        return
+    run.begin()
+    rate = float(run.knob("rate", 300.0))
+    burst = int(run.knob("burst", 15))
+    while not run.over and not run.evicted:
+        conn = client.conn
+        assert conn is not None
+        for _ in range(burst):
+            stream_id = conn.next_stream_id()
+            conn.send_headers(
+                stream_id,
+                [
+                    (":method", "GET"),
+                    (":scheme", "https"),
+                    (":path", "/victim/0.bin"),
+                    (":authority", client.domain),
+                ],
+                end_stream=True,
+            )
+            conn.send_rst_stream(stream_id, 8)  # CANCEL
+        client.flush()
+        run.tick(burst / rate)
+
+
+#: The slow-rate battery, in matrix row order.
+BATTERY_PROFILES: dict[str, AttackProfile] = {
+    "slow_preface": AttackProfile(
+        name="slow_preface",
+        summary="drip the 24-byte connection preface, never completing it",
+        kind="slow-rate",
+        behaviour=_behave_slow_preface,
+        guard_knob="preface",
+    ),
+    "slow_headers": AttackProfile(
+        name="slow_headers",
+        summary="HEADERS without END_HEADERS + 1-byte CONTINUATION trickle",
+        kind="slow-rate",
+        behaviour=_behave_slow_headers,
+        guard_knob="header",
+    ),
+    "zero_window_stall": AttackProfile(
+        name="zero_window_stall",
+        summary="announce a zero initial window, request big objects, go mute",
+        kind="slow-rate",
+        behaviour=_behave_zero_window_stall,
+        client_settings={4: 0},  # SETTINGS_INITIAL_WINDOW_SIZE
+        guard_knob="stall",
+    ),
+    "ping_flood": AttackProfile(
+        name="ping_flood",
+        summary="sustained non-ack PING volleys",
+        kind="flood",
+        behaviour=_behave_ping_flood,
+        guard_knob="ping",
+    ),
+    "settings_flood": AttackProfile(
+        name="settings_flood",
+        summary="sustained empty SETTINGS frames, each forcing an ack",
+        kind="flood",
+        behaviour=_behave_settings_flood,
+        guard_knob="settings",
+    ),
+    "rst_churn": AttackProfile(
+        name="rst_churn",
+        summary="open-and-reset request streams (rapid reset)",
+        kind="flood",
+        behaviour=_behave_rst_churn,
+        guard_knob="rst",
+    ),
+}
+
+
+def _expected_deadline(
+    profile: AttackProfile, guards: AbuseGuards
+) -> float | None:
+    """The guard deadline this attack should be evicted within."""
+    if not guards.any_enabled:
+        return None
+    knob = profile.guard_knob
+    if knob == "preface":
+        return guards.preface_timeout
+    if knob == "header":
+        return guards.header_timeout
+    if knob == "stall":
+        return guards.stall_timeout
+    if knob in ("ping", "settings", "rst"):
+        # Rate breaches trip within one window of sustained flooding.
+        return guards.rate_window
+    return None
+
+
+def _sample_engine(server):
+    return {
+        "pinned": server.pending_response_bytes,
+        "streams": server.tracked_stream_states,
+        "hpack": server.hpack_table_bytes,
+        "assembly": server.header_assembly_bytes,
+    }
+
+
+def _resolve_guards(guards, vendor: str) -> AbuseGuards:
+    if guards is None or guards == "off":
+        return AbuseGuards()
+    if guards == "vendor":
+        return vendor_guards(vendor)
+    return guards
+
+
+def run_attack(
+    profile: AttackProfile | str,
+    vendor: str = "nginx",
+    *,
+    backend: str = "sim",
+    guards: AbuseGuards | str | None = None,
+    seed: int = 0,
+    duration: float = DEFAULT_DURATION,
+    step: float = 0.25,
+    record_frames: bool = False,
+    knobs: dict | None = None,
+) -> AttackResult:
+    """Run one battery profile against one vendor engine.
+
+    ``backend`` is ``"sim"`` (discrete-event, deterministic in the
+    seed) or ``"loopback"`` (real TCP via the PR 6 bridge, wall-clock).
+    ``guards`` is an :class:`AbuseGuards`, ``"vendor"`` (that vendor's
+    hardened defaults) or ``None``/``"off"``.
+    """
+    if isinstance(profile, str):
+        profile = BATTERY_PROFILES[profile]
+    assert profile.behaviour is not None, f"{profile.name} is not a battery attack"
+    resolved = _resolve_guards(guards, vendor)
+    factory = VENDOR_FACTORIES.get(vendor) or POPULATION_FACTORIES[vendor]
+    vendor_profile = factory().clone(guards=resolved)
+    result = AttackResult(
+        profile=profile.name,
+        vendor=vendor,
+        backend=backend,
+        guards_enabled=resolved.any_enabled,
+        duration=duration,
+        eviction_deadline=_expected_deadline(profile, resolved),
+    )
+    domain = f"{vendor}.victim.test"
+    site = Site(
+        domain=domain,
+        profile=vendor_profile,
+        website=_attack_website(),
+        link=LinkProfile(rtt=0.02, bandwidth=50e6),
+    )
+    if backend == "sim":
+        _run_sim(profile, site, result, seed, duration, step, record_frames, knobs)
+    elif backend == "loopback":
+        _run_loopback(profile, site, result, seed, duration, step, knobs)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    return result
+
+
+def _run_sim(profile, site, result, seed, duration, step, record_frames, knobs):
+    sim = Simulation()
+    network = Network(sim, seed=seed)
+    server = deploy_site(network, site, record_frames=record_frames)
+    client = ScopeClient(
+        network,
+        site.domain,
+        settings=dict(profile.client_settings),
+        auto_window_update=profile.auto_window_update,
+    )
+    run = AttackRun(
+        client,
+        result,
+        duration=duration,
+        step=step,
+        sampler=lambda: _sample_engine(server),
+        knobs=knobs,
+    )
+    profile.behaviour(run)
+    # Drain in-flight bytes (a terminal GOAWAY trails the eviction by
+    # the guard linger + link delay) before folding the result.
+    client.wait_for(lambda: False, timeout=0.3)
+    run.finish()
+    client.close()
+    sim.run(until=sim.now + 0.5)
+    result.guard_reasons = [event.reason for event in server.guard_log]
+    if record_frames:
+        for timeline in server.timelines:
+            timeline.label = profile.name
+        result.timelines = list(server.timelines)
+
+
+def _run_loopback(profile, site, result, seed, duration, step, knobs):
+    # Imported lazily: the loopback bridge pulls in asyncio/threading
+    # machinery the simulated path never needs.
+    from repro.net.socket_backend import SocketBackend
+    from repro.servers.loopback import LoopbackBridge
+
+    bridge = LoopbackBridge(seed=seed)
+    try:
+        bridge.serve(site)
+        engine = bridge.engine(site.domain)
+        backend = SocketBackend(resolver=bridge.resolver())
+        try:
+            client = ScopeClient(
+                backend,
+                site.domain,
+                settings=dict(profile.client_settings),
+                auto_window_update=profile.auto_window_update,
+            )
+            run = AttackRun(
+                client,
+                result,
+                duration=duration,
+                step=step,
+                sampler=lambda: _sample_engine(engine),
+                knobs=knobs,
+            )
+            profile.behaviour(run)
+            client.wait_for(lambda: False, timeout=0.3)
+            run.finish()
+            client.close()
+        finally:
+            backend.close()
+        result.guard_reasons = [event.reason for event in engine.guard_log]
+    finally:
+        bridge.close()
+
+
+# ----------------------------------------------------------------------
+# The survival matrix
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SurvivalMatrix:
+    """Battery results over the profile × vendor grid."""
+
+    backend: str
+    guards: str
+    seed: int
+    duration: float
+    results: list[AttackResult] = field(default_factory=list)
+
+    def cell(self, profile: str, vendor: str) -> AttackResult | None:
+        for result in self.results:
+            if result.profile == profile and result.vendor == vendor:
+                return result
+        return None
+
+    def to_json(self) -> dict:
+        return {
+            "backend": self.backend,
+            "guards": self.guards,
+            "seed": self.seed,
+            "duration": self.duration,
+            "results": [result.row() for result in self.results],
+        }
+
+    def render(self) -> str:
+        vendors = sorted({r.vendor for r in self.results})
+        profiles = [
+            name
+            for name in BATTERY_PROFILES
+            if any(r.profile == name for r in self.results)
+        ]
+
+        def text(result: AttackResult | None) -> str:
+            if result is None or not result.connected:
+                return "-"
+            if result.evicted:
+                reason = result.guard_reasons[0] if result.guard_reasons else "_"
+                return f"evict@{result.eviction_at:.2f}s {reason}"
+            return f"held {result.held_seconds:.1f}s"
+
+        grid = {
+            (name, vendor): text(self.cell(name, vendor))
+            for name in profiles
+            for vendor in vendors
+        }
+        widths = {
+            vendor: max(
+                [len(vendor)] + [len(grid[(name, vendor)]) for name in profiles]
+            )
+            + 2
+            for vendor in vendors
+        }
+        lines = [
+            f"Survival matrix — backend={self.backend} guards={self.guards} "
+            f"duration={self.duration:g}s seed={self.seed}",
+            "  (held Ns = connection survived; evict@T = terminated T seconds in)",
+            "",
+            "  "
+            + "attack".ljust(20)
+            + "".join(v.ljust(widths[v]) for v in vendors),
+        ]
+        for name in profiles:
+            lines.append(
+                "  "
+                + name.ljust(20)
+                + "".join(grid[(name, v)].ljust(widths[v]) for v in vendors)
+            )
+        pinned = max((r.peak_pinned_bytes for r in self.results), default=0)
+        lines.append("")
+        lines.append(f"  peak pinned response bytes across cells: {pinned:,}")
+        return "\n".join(lines) + "\n"
+
+
+def run_battery(
+    vendors: list[str] | None = None,
+    profiles: list[str] | None = None,
+    *,
+    backend: str = "sim",
+    guards: str = "off",
+    seed: int = 0,
+    duration: float = DEFAULT_DURATION,
+    guard_scale: float = 1.0,
+    record_frames: bool = False,
+    knobs: dict | None = None,
+) -> SurvivalMatrix:
+    """Sweep the battery over ``profiles`` × ``vendors``.
+
+    ``guards`` is ``"off"`` or ``"vendor"``; ``guard_scale`` shrinks
+    the vendor deadlines (loopback tests pay wall seconds per cell).
+    """
+    vendor_names = list(VENDOR_FACTORIES) if vendors is None else list(vendors)
+    profile_names = (
+        list(BATTERY_PROFILES) if profiles is None else list(profiles)
+    )
+    matrix = SurvivalMatrix(
+        backend=backend, guards=guards, seed=seed, duration=duration
+    )
+    for name in profile_names:
+        for vendor in vendor_names:
+            guard_config: AbuseGuards | None
+            if guards == "vendor":
+                guard_config = vendor_guards(vendor)
+                if guard_scale != 1.0:
+                    guard_config = guard_config.scaled(guard_scale)
+            else:
+                guard_config = None
+            matrix.results.append(
+                run_attack(
+                    BATTERY_PROFILES[name],
+                    vendor,
+                    backend=backend,
+                    guards=guard_config,
+                    seed=seed,
+                    duration=duration,
+                    record_frames=record_frames,
+                    knobs=knobs,
+                )
+            )
+    return matrix

@@ -1,0 +1,100 @@
+"""Labelled trace corpora for detector scoring (ISSUE 7 tentpole c).
+
+The detector (:mod:`repro.analysis.detection`) is judged on traffic it
+did not shape: *benign* connection timelines come from full probe-suite
+scans of each vendor engine — including chaos-campaign scans where the
+network itself resets, stalls and truncates connections — and *attack*
+timelines come from battery runs with the abuse guards off, so each
+attack plays out to its full length.
+
+Everything is recorded server-side
+(:class:`~repro.scope.trace.ConnectionTimeline`), deterministic in the
+seed, and labelled with the attack profile's name (or ``None`` for
+benign), which is exactly what
+:func:`repro.analysis.detection.score_corpus` consumes.
+
+The benign corpus is deliberately adversarial for a detector: the probe
+suite announces tiny windows, sends deliberate protocol violations and
+batches of PINGs, and chaos scans add mid-connection mutilation — a
+naive rule set flags it readily.
+"""
+
+from __future__ import annotations
+
+from repro.net.clock import Simulation
+from repro.net.faults import FaultPlan
+from repro.net.transport import Network
+from repro.scope.scanner import probe_target
+from repro.scope.trace import ConnectionTimeline
+from repro.servers.site import Site, deploy_site
+from repro.servers.vendors import VENDOR_FACTORIES
+
+from repro.attacks.battery import BATTERY_PROFILES, run_attack
+
+#: Chaos spec for the faulty benign scans: resets during the hello,
+#: mid-response truncation and a recoverable stall.
+CHAOS_SPEC = "reset:0.2,truncate(600):0.2,stall(1.5):0.2"
+
+
+def benign_timelines(
+    vendors: list[str] | None = None,
+    seed: int = 0,
+    chaos: bool = True,
+) -> list[ConnectionTimeline]:
+    """Probe-suite traffic against each vendor, frames recorded.
+
+    One clean scan per vendor, plus (``chaos=True``) one scan through a
+    faulty network.  Labels stay ``None``.
+    """
+    names = list(VENDOR_FACTORIES) if vendors is None else list(vendors)
+    plans: list[FaultPlan | None] = [None]
+    if chaos:
+        plans.append(FaultPlan.parse(CHAOS_SPEC, seed=seed))
+    timelines: list[ConnectionTimeline] = []
+    for vendor in names:
+        for plan in plans:
+            sim = Simulation()
+            network = Network(sim, seed=seed, fault_plan=plan)
+            site = Site(domain=f"{vendor}.corpus.test", profile=VENDOR_FACTORIES[vendor]())
+            server = deploy_site(network, site, record_frames=True)
+            probe_target(network, site.domain, seed=seed)
+            sim.run(until=sim.now + 1.0)
+            timelines.extend(server.timelines)
+    return timelines
+
+
+def attack_timelines(
+    vendors: list[str] | None = None,
+    profiles: list[str] | None = None,
+    seed: int = 0,
+    duration: float = 16.0,
+) -> list[ConnectionTimeline]:
+    """Battery traffic, guards off, labelled with each profile's name."""
+    vendor_names = list(VENDOR_FACTORIES) if vendors is None else list(vendors)
+    profile_names = list(BATTERY_PROFILES) if profiles is None else list(profiles)
+    timelines: list[ConnectionTimeline] = []
+    for name in profile_names:
+        for vendor in vendor_names:
+            result = run_attack(
+                BATTERY_PROFILES[name],
+                vendor,
+                guards=None,
+                seed=seed,
+                duration=duration,
+                record_frames=True,
+            )
+            timelines.extend(result.timelines)
+    return timelines
+
+
+def build_corpus(
+    vendors: list[str] | None = None,
+    profiles: list[str] | None = None,
+    seed: int = 0,
+    duration: float = 16.0,
+    chaos: bool = True,
+) -> list[ConnectionTimeline]:
+    """Benign + attack timelines, ready for ``score_corpus``."""
+    return benign_timelines(vendors, seed=seed, chaos=chaos) + attack_timelines(
+        vendors, profiles, seed=seed, duration=duration
+    )

@@ -787,6 +787,109 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    """Run the slow-rate battery and print the survival matrix."""
+    import json as _json
+
+    from repro.attacks import ATTACK_PROFILES, BATTERY_PROFILES, run_battery
+    from repro.servers.vendors import VENDOR_FACTORIES
+
+    if args.profile != "all" and args.profile not in ATTACK_PROFILES:
+        print(
+            f"unknown attack profile {args.profile!r}; choose from "
+            f"{', '.join(sorted(ATTACK_PROFILES))} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.vendor != "all" and args.vendor not in VENDOR_FACTORIES:
+        print(
+            f"unknown vendor {args.vendor!r}; choose from "
+            f"{', '.join(VENDOR_FACTORIES)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.profile in ATTACK_PROFILES and not ATTACK_PROFILES[args.profile].is_battery:
+        # Legacy §VI resource study: run with its own defaults.
+        result = ATTACK_PROFILES[args.profile].run(seed=args.seed)
+        print(_json.dumps(result.row(), indent=2))
+        return 0
+
+    profiles = list(BATTERY_PROFILES) if args.profile == "all" else [args.profile]
+    vendors = list(VENDOR_FACTORIES) if args.vendor == "all" else [args.vendor]
+    matrix = run_battery(
+        vendors=vendors,
+        profiles=profiles,
+        backend=args.backend,
+        guards=args.guards,
+        seed=args.seed,
+        duration=args.duration,
+        guard_scale=args.guard_scale,
+        record_frames=args.db is not None,
+    )
+    if args.json:
+        print(_json.dumps(matrix.to_json(), indent=2))
+    else:
+        print(matrix.render())
+    if args.db is not None:
+        from repro.scope.storage import ReportStore
+
+        with ReportStore(args.db) as store:
+            for result in matrix.results:
+                store.save_timelines(
+                    args.campaign,
+                    f"{result.vendor}.{result.profile}",
+                    result.timelines,
+                )
+        print(f"stored labelled timelines in {args.db} ({args.campaign})")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    """Score the real-time detector, or sweep stored timelines."""
+    import json as _json
+
+    from repro.analysis.detection import DetectorConfig, score_corpus
+
+    config = DetectorConfig(stall_window=args.stall_window)
+    if args.db is not None:
+        from repro.scope.storage import ReportStore
+
+        with ReportStore(args.db) as store:
+            timelines = store.load_timelines(args.campaign)
+        if not timelines:
+            print(
+                f"no stored connection timelines for campaign "
+                f"{args.campaign!r} in {args.db}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.attacks.corpus import build_corpus
+
+        vendors = None if args.vendor == "all" else [args.vendor]
+        timelines = build_corpus(
+            vendors=vendors, seed=args.seed, duration=args.duration
+        )
+    score = score_corpus(timelines, config)
+    document = {"timelines": len(timelines), **score.to_json()}
+    print(_json.dumps(document, indent=2))
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(_json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if score.precision < args.min_precision or score.recall < args.min_recall:
+        print(
+            f"detector below floor: precision {score.precision:.3f} "
+            f"(floor {args.min_precision}) recall {score.recall:.3f} "
+            f"(floor {args.min_recall})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="h2scope",
@@ -1020,6 +1123,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="nginx, litespeed, h2o, nghttpd, tengine, apache, or 'all'",
     )
     conformance.set_defaults(func=_cmd_conformance)
+
+    attack = sub.add_parser(
+        "attack",
+        help="run the slow-HTTP/2 DoS battery against the vendor engines",
+    )
+    attack.add_argument(
+        "--profile",
+        default="all",
+        help="battery profile (slow_preface, slow_headers, zero_window_stall, "
+        "ping_flood, settings_flood, rst_churn), a legacy study "
+        "(slow_read, table_flood, priority_churn), or 'all' (battery)",
+    )
+    attack.add_argument(
+        "--vendor",
+        default="all",
+        help="victim engine (nginx, litespeed, h2o, nghttpd, tengine, "
+        "apache) or 'all'",
+    )
+    attack.add_argument(
+        "--backend",
+        choices=("sim", "loopback"),
+        default="sim",
+        help="sim: discrete-event engines, deterministic in --seed "
+        "(default); loopback: the same engines behind real TCP sockets",
+    )
+    attack.add_argument(
+        "--guards",
+        choices=("off", "vendor"),
+        default="off",
+        help="abuse guards: off reproduces the exposed 2016 behaviour; "
+        "vendor enables each engine's hardened defaults",
+    )
+    attack.add_argument(
+        "--duration",
+        type=float,
+        default=16.0,
+        help="attack window in backend seconds (default 16)",
+    )
+    attack.add_argument(
+        "--guard-scale",
+        type=float,
+        default=1.0,
+        help="scale factor on the vendor guard deadlines (loopback runs "
+        "pay wall-clock seconds; 0.5 halves every deadline)",
+    )
+    attack.add_argument(
+        "--json", action="store_true", help="emit the matrix as JSON"
+    )
+    attack.add_argument(
+        "--db",
+        default=None,
+        help="record server-side frame timelines (labelled with the "
+        "attack profile) into this database",
+    )
+    attack.add_argument(
+        "--campaign",
+        default="attack",
+        help="campaign name for --db rows (default 'attack')",
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    detect = sub.add_parser(
+        "detect",
+        help="score the real-time slow-rate detector on labelled traffic",
+    )
+    detect.add_argument(
+        "--db",
+        default=None,
+        help="score stored labelled timelines from this database instead "
+        "of generating a fresh corpus",
+    )
+    detect.add_argument(
+        "--campaign",
+        default="attack",
+        help="campaign holding the stored timelines (default 'attack')",
+    )
+    detect.add_argument(
+        "--vendor",
+        default="all",
+        help="corpus mode: limit to one vendor (default all six)",
+    )
+    detect.add_argument(
+        "--duration",
+        type=float,
+        default=16.0,
+        help="corpus mode: attack window per battery run (default 16)",
+    )
+    detect.add_argument(
+        "--stall-window",
+        type=float,
+        default=10.0,
+        help="detector rule: seconds a tiny-window connection may idle "
+        "(must exceed the benign probe budget; default 10)",
+    )
+    detect.add_argument(
+        "--out", default=None, help="also write the score document here"
+    )
+    detect.add_argument(
+        "--min-precision",
+        type=float,
+        default=0.0,
+        help="exit 1 if precision falls below this floor",
+    )
+    detect.add_argument(
+        "--min-recall",
+        type=float,
+        default=0.0,
+        help="exit 1 if recall falls below this floor",
+    )
+    detect.set_defaults(func=_cmd_detect)
 
     experiment = sub.add_parser("experiment", help="run one table/figure by name")
     experiment.add_argument("name", help="table3, adoption, table4, settings, "

@@ -35,14 +35,20 @@ from repro.scope.report import (
     SiteReport,
     TinyWindowResult,
 )
-from repro.scope.trace import decode_trace, encode_trace
+from repro.scope.trace import (
+    decode_timeline,
+    decode_trace,
+    encode_timeline,
+    encode_trace,
+)
 
 #: Current on-disk schema version.  Version 1 is the PR-1-era layout
 #: (reports table only, no version stamp); version 2 adds the campaign
-#: journal tables; version 3 adds per-probe frame traces.  Databases
+#: journal tables; version 3 adds per-probe frame traces; version 4
+#: adds the ``label`` column on traces (attack corpora).  Databases
 #: stamped with a *newer* version are refused — an older tool must not
 #: scribble over a journal whose invariants it does not understand.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS reports (
@@ -82,6 +88,7 @@ CREATE TABLE IF NOT EXISTS traces (
     domain TEXT NOT NULL,
     probe TEXT NOT NULL,
     document TEXT NOT NULL,
+    label TEXT,
     PRIMARY KEY (campaign, domain, probe)
 );
 """
@@ -206,6 +213,19 @@ class ReportStore:
                 f"tool supports ({SCHEMA_VERSION}); refusing to open"
             )
         self._db.executescript(_SCHEMA)
+        # v3 -> v4: CREATE IF NOT EXISTS leaves an existing traces table
+        # untouched, so the label column needs an in-place ALTER.
+        trace_columns = {
+            row[1] for row in self._db.execute("PRAGMA table_info(traces)")
+        }
+        if "label" not in trace_columns:
+            self._db.execute("ALTER TABLE traces ADD COLUMN label TEXT")
+        # The label index lives outside _SCHEMA: on a v3 file it can
+        # only exist once the ALTER above has added its column.
+        self._db.execute(
+            "CREATE INDEX IF NOT EXISTS idx_traces_label "
+            "ON traces (campaign, label)"
+        )
         with self._db:
             self._db.execute("DELETE FROM schema_version")
             self._db.execute(
@@ -275,14 +295,19 @@ class ReportStore:
     # -- traces -----------------------------------------------------------
 
     def stage_trace(
-        self, campaign: str, domain: str, probe: str, timed_frames
+        self,
+        campaign: str,
+        domain: str,
+        probe: str,
+        timed_frames,
+        label: str | None = None,
     ) -> None:
         """Insert or replace one probe's frame timeline WITHOUT committing."""
         document = json.dumps(encode_trace(timed_frames))
         self._db.execute(
-            "INSERT OR REPLACE INTO traces (campaign, domain, probe, document) "
-            "VALUES (?, ?, ?, ?)",
-            (campaign, domain, probe, document),
+            "INSERT OR REPLACE INTO traces "
+            "(campaign, domain, probe, document, label) VALUES (?, ?, ?, ?, ?)",
+            (campaign, domain, probe, document, label),
         )
 
     def save_traces(
@@ -317,6 +342,56 @@ class ReportStore:
             (campaign, domain),
         ).fetchall()
         return [row[0] for row in rows]
+
+    # -- connection timelines (labelled corpora) ---------------------------
+
+    def save_timelines(self, campaign: str, domain: str, timelines) -> None:
+        """Store labelled :class:`~repro.scope.trace.ConnectionTimeline`
+        objects for one site in ONE transaction.
+
+        Timelines share the traces table (keyed ``connection-N``) but
+        carry the full lifetime document and the label column, so
+        detector corpora and probe traces live in one database.
+        """
+        with self._db:
+            for index, timeline in enumerate(timelines):
+                document = json.dumps(encode_timeline(timeline))
+                self._db.execute(
+                    "INSERT OR REPLACE INTO traces "
+                    "(campaign, domain, probe, document, label) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        campaign,
+                        domain,
+                        f"connection-{index}",
+                        document,
+                        timeline.label,
+                    ),
+                )
+
+    def load_timelines(self, campaign: str, domain: str | None = None):
+        """Stored connection timelines (probe traces are skipped)."""
+        query = "SELECT document FROM traces WHERE campaign = ?"
+        params: list = [campaign]
+        if domain is not None:
+            query += " AND domain = ?"
+            params.append(domain)
+        query += " ORDER BY domain, probe"
+        out = []
+        for (document,) in self._db.execute(query, params):
+            parsed = json.loads(document)
+            if isinstance(parsed, dict) and "frames" in parsed:
+                out.append(decode_timeline(parsed))
+        return out
+
+    def timeline_labels(self, campaign: str) -> dict[str, int]:
+        """Count of stored timelines per label (None key = benign)."""
+        rows = self._db.execute(
+            "SELECT label, COUNT(*) FROM traces WHERE campaign = ? "
+            "GROUP BY label ORDER BY label",
+            (campaign,),
+        ).fetchall()
+        return {label: count for label, count in rows}
 
     # -- reading -------------------------------------------------------------
 

@@ -26,7 +26,7 @@ Three pieces live here:
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.h2.constants import ErrorCode, FrameFlag, SettingCode
 from repro.h2.frames import (
@@ -181,6 +181,12 @@ class TraceRecorder:
     :meth:`record` as frames arrive.  Frames observed outside a named
     probe (``begin`` not called) are dropped — recording is strictly
     opt-in per probe.
+
+    :meth:`begin` while a probe is still open raises: silently
+    accepting the second ``begin`` used to merge two probes' frames
+    into one timeline, corrupting both.  :meth:`end` is idempotent, so
+    ``try: begin(...) ... finally: end()`` nests safely with an
+    explicit early ``end()``.
     """
 
     def __init__(self) -> None:
@@ -188,6 +194,11 @@ class TraceRecorder:
         self.current: str | None = None
 
     def begin(self, probe: str) -> None:
+        if self.current is not None:
+            raise RuntimeError(
+                f"trace for probe {self.current!r} is still open; "
+                f"call end() before begin({probe!r})"
+            )
         self.current = probe
         self.traces.setdefault(probe, [])
 
@@ -197,6 +208,35 @@ class TraceRecorder:
     def record(self, at: float, frame: Frame) -> None:
         if self.current is not None:
             self.traces[self.current].append(TracedFrame(at=at, frame=frame))
+
+
+@dataclass
+class ConnectionTimeline:
+    """One connection's server-side view: lifetime plus inbound frames.
+
+    Recorded by the engine when :class:`~repro.servers.engine.H2Server`
+    is created with ``record_frames=True``; this is the input shape of
+    the real-time detector (:mod:`repro.analysis.detection`) and of the
+    labelled attack corpora.  ``label`` is ``None`` for benign traffic
+    and an attack-profile name for battery-generated timelines.
+    """
+
+    opened_at: float
+    closed_at: float | None = None
+    #: Negotiated protocol as far as the connection got: ``"hello"``
+    #: (TLS never completed), ``"http1"``, ``"h2"`` or ``"h2-mute"``.
+    protocol: str = "hello"
+    frames: list[TracedFrame] = field(default_factory=list)
+    label: str | None = None
+
+    @property
+    def end_at(self) -> float:
+        """Best-known end of observation (close, else last frame)."""
+        if self.closed_at is not None:
+            return self.closed_at
+        if self.frames:
+            return self.frames[-1].at
+        return self.opened_at
 
 
 def encode_trace(timed_frames: Iterable) -> list[dict]:
@@ -220,3 +260,26 @@ def decode_trace(document: list[dict]) -> list[TracedFrame]:
             raise ValueError("corrupt stored trace entry")
         out.append(TracedFrame(at=float(entry["at"]), frame=frames[0]))
     return out
+
+
+def encode_timeline(timeline: ConnectionTimeline) -> dict:
+    """Encode a full connection timeline (lifetime + frames + label)."""
+    return {
+        "opened_at": timeline.opened_at,
+        "closed_at": timeline.closed_at,
+        "protocol": timeline.protocol,
+        "label": timeline.label,
+        "frames": encode_trace(timeline.frames),
+    }
+
+
+def decode_timeline(document: dict) -> ConnectionTimeline:
+    """Inverse of :func:`encode_timeline`."""
+    closed = document.get("closed_at")
+    return ConnectionTimeline(
+        opened_at=float(document["opened_at"]),
+        closed_at=None if closed is None else float(closed),
+        protocol=document.get("protocol", "h2"),
+        frames=decode_trace(document.get("frames", [])),
+        label=document.get("label"),
+    )

@@ -31,6 +31,7 @@ from repro.net.tls import (
     encode_server_hello,
     negotiate_alpn,
 )
+from repro.h2.frames import PingFrame, RstStreamFrame, SettingsFrame
 from repro.net.transport import Endpoint, Host
 from repro.servers.profiles import ServerProfile, TinyWindowBehavior
 from repro.servers.website import Resource, Website
@@ -40,6 +41,18 @@ TINY_WINDOW_THRESHOLD = 16
 #: Upper bound on a single DATA chunk, so that concurrent streams
 #: interleave even when windows and MAX_FRAME_SIZE are huge.
 CHUNK_LIMIT = 16_384
+#: Seconds a guard-evicted connection lingers between its terminal
+#: GOAWAY and the FIN, so the frame outruns the close on slow links.
+GUARD_CLOSE_LINGER = 0.05
+
+
+@dataclass
+class GuardEvent:
+    """One abuse-guard breach: which connection tripped which knob."""
+
+    at: float
+    connection: int
+    reason: str
 
 
 @dataclass
@@ -73,6 +86,7 @@ class H2Server:
         profile: ServerProfile,
         website: Website,
         seed: int = 0,
+        record_frames: bool = False,
     ):
         self.sim = sim
         self.profile = profile
@@ -83,6 +97,14 @@ class H2Server:
         #: Learned push state (§VI point 4): for each page, how often
         #: each resource was requested right after it.
         self.follow_counts: dict[str, dict[str, int]] = {}
+        #: When set, every connection records its inbound frames into a
+        #: :class:`~repro.scope.trace.ConnectionTimeline` (detector and
+        #: corpus input).  Off by default: recording is opt-in so the
+        #: scan hot path never pays for it.
+        self.record_frames = record_frames
+        self.timelines: list = []
+        #: Every abuse-guard breach, in firing order.
+        self.guard_log: list[GuardEvent] = []
 
     def record_follow(self, page: str, follower: str) -> None:
         """Learn that ``follower`` was requested after ``page``."""
@@ -126,6 +148,34 @@ class H2Server:
         return sum(conn.pending_response_bytes for conn in self.connections)
 
     @property
+    def open_connections(self) -> int:
+        """Connections still holding a transport endpoint open."""
+        return sum(1 for conn in self.connections if not conn.endpoint.closed)
+
+    @property
+    def tracked_stream_states(self) -> int:
+        """Stream-state objects alive across all h2 connections — what
+        a reset-churn attacker inflates."""
+        return sum(
+            len(conn.conn.streams)
+            for conn in self.connections
+            if conn.conn is not None
+        )
+
+    @property
+    def header_assembly_bytes(self) -> int:
+        """Bytes pinned in open HEADERS→CONTINUATION assemblies — what
+        the slow-HEADERS drip inflates."""
+        total = 0
+        for conn in self.connections:
+            if conn.conn is None:
+                continue
+            assembly = conn.conn._header_assembly
+            if assembly is not None:
+                total += sum(len(f.header_block) for f in assembly[1])
+        return total
+
+    @property
     def hpack_table_bytes(self) -> int:
         """HPACK dynamic-table memory across all connections (both the
         encoder table, whose limit the *peer* influences, and the
@@ -163,6 +213,38 @@ class _ServerConnection:
         self._rr_last_arrival = 0
         self._page_path: str | None = None
         self._rng = random.Random(hash((server.seed, index, 0x5EED)))
+        self.index = index
+
+        # -- abuse guards (ISSUE 7) ------------------------------------
+        # Timers are armed ONLY for enabled knobs: an all-off guard
+        # config must leave the simulation's event schedule untouched
+        # (the determinism contract the pinned campaign hashes rely on).
+        self.guards = server.profile.guards
+        self._guard_reason: str | None = None
+        self._opened_at = self.sim.now
+        self._last_inbound = self.sim.now
+        self._progress_at = self.sim.now
+        self._h1_requests = 0
+        self._assembly_started: float | None = None
+        self._stall_check_armed = False
+        self._rate_counts: dict[str, int] = {}
+        self._rate_window_start: dict[str, float] = {}
+        if self.guards.preface_timeout is not None:
+            self.sim.call_later(self.guards.preface_timeout, self._check_preface)
+        if self.guards.idle_timeout is not None:
+            self.sim.call_later(self.guards.idle_timeout, self._check_idle)
+
+        # -- frame-timeline recording ----------------------------------
+        self.timeline = None
+        if server.record_frames:
+            from repro.scope.trace import ConnectionTimeline
+
+            self.timeline = ConnectionTimeline(
+                opened_at=self.sim.now,
+                protocol="hello" if tls else "http1",
+            )
+            server.timelines.append(self.timeline)
+
         endpoint.on_data = self._on_data
         endpoint.on_close = self._on_close
         pending = endpoint.drain()
@@ -174,6 +256,9 @@ class _ServerConnection:
     # ------------------------------------------------------------------
 
     def _on_data(self, data: bytes) -> None:
+        self._last_inbound = self.sim.now
+        if self._guard_reason is not None:
+            return
         if self.mode == "hello":
             self._buffer += data
             if b"\n" not in self._buffer:
@@ -212,6 +297,8 @@ class _ServerConnection:
             self._start_h2()
         else:
             self.mode = "http1"
+            if self.timeline is not None:
+                self.timeline.protocol = "http1"
 
     # ------------------------------------------------------------------
     # HTTP/2
@@ -220,10 +307,14 @@ class _ServerConnection:
     def _start_h2(self) -> None:
         self.mode = "h2"
         profile = self.profile
+        if self.timeline is not None:
+            self.timeline.protocol = "h2"
         if profile.h2_unresponsive:
             # Negotiates h2 and then goes mute: no SETTINGS, no
             # responses.  §V-B's negotiation-vs-HEADERS gap.
             self.mode = "h2-mute"
+            if self.timeline is not None:
+                self.timeline.protocol = "h2-mute"
             return
         settings = dict(profile.settings)
         config = ConnectionConfig(
@@ -255,6 +346,7 @@ class _ServerConnection:
 
     def _feed_h2(self, data: bytes) -> None:
         assert self.conn is not None
+        mark = len(self.conn.frame_log)
         try:
             events = self.conn.receive_bytes(data)
         except H2StreamError as exc:
@@ -269,10 +361,145 @@ class _ServerConnection:
                 self.conn.send_goaway(exc.error_code)
             self._flush()
             return
+        finally:
+            # Frames parsed before an error still count: recording and
+            # guard accounting must see everything the peer sent.
+            self._observe_frames(mark)
+        if self._guard_reason is not None:
+            return
         for event in events:
             self._handle_event(event)
         self._pump()
         self._flush()
+
+    def _observe_frames(self, mark: int) -> None:
+        """Timeline recording + guard accounting for newly parsed frames."""
+        assert self.conn is not None
+        arrived = self.conn.frame_log[mark:]
+        if self.timeline is not None and arrived:
+            from repro.scope.trace import TracedFrame
+
+            now = self.sim.now
+            self.timeline.frames.extend(
+                TracedFrame(at=now, frame=frame) for frame in arrived
+            )
+        guards = self.guards
+        if not guards.any_enabled:
+            return
+        for frame in arrived:
+            if isinstance(frame, PingFrame) and not frame.is_ack:
+                self._bump_rate("ping", guards.ping_rate_limit)
+            elif isinstance(frame, SettingsFrame) and not frame.is_ack:
+                self._bump_rate("settings", guards.settings_rate_limit)
+            elif isinstance(frame, RstStreamFrame):
+                self._bump_rate("rst", guards.rst_rate_limit)
+        self._note_assembly()
+
+    # -- abuse guards ------------------------------------------------------
+
+    def _bump_rate(self, kind: str, limit: int | None) -> None:
+        if limit is None or self._guard_reason is not None:
+            return
+        now = self.sim.now
+        start = self._rate_window_start.get(kind)
+        if start is None or now - start > self.guards.rate_window:
+            self._rate_window_start[kind] = now
+            self._rate_counts[kind] = 0
+        self._rate_counts[kind] += 1
+        if self._rate_counts[kind] > limit:
+            self._trip_guard(f"{kind}-flood")
+
+    def _note_assembly(self) -> None:
+        """Track HEADERS→CONTINUATION assembly age for the drip guard."""
+        if self.guards.header_timeout is None or self.conn is None:
+            return
+        if self.conn._header_assembly is None:
+            self._assembly_started = None
+        elif self._assembly_started is None:
+            self._assembly_started = self.sim.now
+            self.sim.call_later(
+                self.guards.header_timeout, self._check_assembly, self.sim.now
+            )
+
+    def _check_assembly(self, started: float) -> None:
+        if self.endpoint.closed or self._guard_reason is not None:
+            return
+        if (
+            self.conn is not None
+            and self.conn._header_assembly is not None
+            and self._assembly_started == started
+        ):
+            self._trip_guard("header-timeout")
+
+    def _check_preface(self) -> None:
+        """Handshake deadline: a complete h2 preface (or an HTTP/1.1
+        request) must have arrived by now."""
+        if self.endpoint.closed or self._guard_reason is not None:
+            return
+        if self.mode == "hello":
+            self._trip_guard("preface-timeout")
+            return
+        if self.mode == "h2":
+            assert self.conn is not None
+            if self.conn._preface_pending:
+                self._trip_guard("preface-timeout")
+            return
+        if self.mode == "http1" and self._h1_requests == 0:
+            self._trip_guard("preface-timeout")
+
+    def _check_idle(self) -> None:
+        if self.endpoint.closed or self._guard_reason is not None:
+            return
+        assert self.guards.idle_timeout is not None
+        deadline = self._last_inbound + self.guards.idle_timeout
+        if self.sim.now + 1e-9 >= deadline:
+            self._trip_guard("idle-timeout")
+        else:
+            self.sim.call_later(deadline - self.sim.now, self._check_idle)
+
+    def _arm_stall_check(self) -> None:
+        if self.guards.stall_timeout is None or self._stall_check_armed:
+            return
+        self._stall_check_armed = True
+        self.sim.call_later(self.guards.stall_timeout, self._check_stall)
+
+    def _check_stall(self) -> None:
+        self._stall_check_armed = False
+        if self.endpoint.closed or self._guard_reason is not None:
+            return
+        if not self._tasks:
+            return  # drained; re-armed by the next _enqueue
+        assert self.guards.stall_timeout is not None
+        deadline = self._progress_at + self.guards.stall_timeout
+        if self.sim.now + 1e-9 >= deadline:
+            self._trip_guard("stall-timeout")
+        else:
+            self._stall_check_armed = True
+            self.sim.call_later(deadline - self.sim.now, self._check_stall)
+
+    def _trip_guard(self, reason: str) -> None:
+        """Evict the connection: one terminal GOAWAY(ENHANCE_YOUR_CALM),
+        then close.  Idempotent — a guard fires at most once."""
+        if self._guard_reason is not None or self.endpoint.closed:
+            return
+        self._guard_reason = reason
+        self.server.guard_log.append(
+            GuardEvent(at=self.sim.now, connection=self.index, reason=reason)
+        )
+        if self.conn is not None and not self.conn.terminated:
+            self.conn.send_goaway(
+                int(ErrorCode.ENHANCE_YOUR_CALM),
+                debug_data=reason.encode("ascii"),
+            )
+            self._flush()
+        self._tasks.clear()
+        self._active_requests.clear()
+        if self.timeline is not None:
+            self.timeline.closed_at = self.sim.now
+        # Linger before the FIN so the GOAWAY bytes (queued behind the
+        # link's serialization delay) reach the peer; an immediate close
+        # would overtake them and the client would only see a reset.
+        self.sim.call_later(GUARD_CLOSE_LINGER, self.endpoint.close)
 
     def _handle_event(self, event: ev.Event) -> None:
         assert self.conn is not None
@@ -477,6 +704,8 @@ class _ServerConnection:
             body=body,
             arrival_index=stream_id,
         )
+        self._progress_at = self.sim.now
+        self._arm_stall_check()
 
     # ------------------------------------------------------------------
     # The send scheduler
@@ -536,6 +765,8 @@ class _ServerConnection:
             )
             task.headers_sent = True
             sent_any = True
+        if sent_any:
+            self._progress_at = self.sim.now
         return sent_any
 
     def _data_ready_streams(self) -> set[int]:
@@ -667,6 +898,7 @@ class _ServerConnection:
         end = task.offset + chunk_len >= len(task.body)
         conn.send_data(task.stream_id, chunk, end_stream=end)
         task.offset += chunk_len
+        self._progress_at = self.sim.now
         if self.profile.scheduler_mode != "fcfs":
             task.credit -= 1.0
         # One transport write per DATA frame: the wire then carries the
@@ -689,6 +921,7 @@ class _ServerConnection:
         lines = raw.split(b"\r\n")
         if not lines or not lines[0]:
             return
+        self._h1_requests += 1
         parts = lines[0].split()
         path = parts[1].decode("latin-1") if len(parts) >= 2 else "/"
         headers = {}
@@ -777,3 +1010,5 @@ class _ServerConnection:
 
     def _on_close(self) -> None:
         self._tasks.clear()
+        if self.timeline is not None and self.timeline.closed_at is None:
+            self.timeline.closed_at = self.sim.now

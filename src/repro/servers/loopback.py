@@ -172,6 +172,13 @@ class _SiteRuntime:
         self.site = site
         self.delay = link_rtt / 2.0  # one-way, charged per direction
         self.sim = Simulation()
+        #: Wall instant corresponding to virtual t=0.  The virtual clock
+        #: is re-anchored to this on every external stimulus (see
+        #: :meth:`_sync`): without it the simulation's ``now`` lags the
+        #: wall whenever the event queue is sparse, and long timers —
+        #: the engines' abuse-guard deadlines — would recede by that lag
+        #: every time a new byte arrived.
+        self._epoch = loop.time()
         self.server = H2Server(
             self.sim,
             site.profile,
@@ -186,6 +193,10 @@ class _SiteRuntime:
 
     def accept(self, transport: asyncio.Transport, tls: bool) -> _BridgeEndpoint:
         """Wrap a fresh TCP connection in an engine connection."""
+        # Anchor the virtual clock first: the connection's guard timers
+        # are armed relative to ``sim.now``, which may trail the wall if
+        # the site has been idle.
+        self._sync()
         kind = "tls" if tls else "clear"
         endpoint = _BridgeEndpoint(self, f"{self.site.domain}:{kind}")
         endpoint._transport = transport
@@ -205,8 +216,29 @@ class _SiteRuntime:
 
     # -- pacing -----------------------------------------------------------
 
+    def _sync(self) -> None:
+        """Advance the virtual clock to the wall-equivalent instant.
+
+        Virtual events due before that instant run now (their wall
+        timers would have fired by now anyway, modulo scheduler slop);
+        events further out keep their armed timers.  Never called while
+        the simulation is mid-run: there ``sim.now`` is the executing
+        event's own timestamp and must not jump.
+        """
+        if self._running:
+            return
+        wall_now = (self.loop.time() - self._epoch) / TIME_SCALE
+        if wall_now <= self.sim.now:
+            return
+        self._running = True
+        try:
+            self.sim.run(until=wall_now)
+        finally:
+            self._running = False
+
     def after_delay(self, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` one link-delay from now (simulation-ordered)."""
+        self._sync()
         self.sim.call_later(self.delay, fn, *args)
         self.kick()
 
@@ -308,6 +340,15 @@ class LoopbackBridge:
     def resolver(self) -> dict[tuple[str, int], tuple[str, int]]:
         """Address mapping for :class:`SocketBackend`'s ``resolver=``."""
         return dict(self._addresses)
+
+    def engine(self, domain: str):
+        """The :class:`~repro.servers.engine.H2Server` behind ``domain``.
+
+        The engine runs on the bridge's loop thread; callers on other
+        threads must treat reads as best-effort samples (the attack
+        battery's loopback metric sampling does exactly that).
+        """
+        return self._runtimes[domain].server
 
     # -- lifecycle --------------------------------------------------------
 

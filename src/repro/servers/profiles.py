@@ -16,6 +16,88 @@ from repro.h2.constants import SettingCode
 from repro.h2.hpack.encoder import IndexingPolicy
 
 
+@dataclass(frozen=True)
+class AbuseGuards:
+    """Connection-robustness countermeasures (the slow-HTTP/2 defences).
+
+    Every knob is off (``None``) by default: the 2016 servers the paper
+    measured held attack connections forever, and the battery's
+    guards-off runs must reproduce that exposure byte-for-byte.  When a
+    knob is enabled the engine arms the corresponding deadline or rate
+    counter and, on breach, sends one terminal
+    GOAWAY(ENHANCE_YOUR_CALM) and closes the connection.
+
+    Timers are only scheduled for enabled knobs, so an all-default
+    guard config leaves the engine's event schedule — and therefore
+    every pinned determinism hash — untouched.
+    """
+
+    #: Seconds from accept to a complete h2 preface (or, on a cleartext
+    #: connection, a complete HTTP/1.1 request).  Defeats slow-preface.
+    preface_timeout: float | None = None
+    #: Seconds a HEADERS→CONTINUATION assembly may stay open.  Defeats
+    #: the slow-HEADERS (CONTINUATION trickle) drip.
+    header_timeout: float | None = None
+    #: Seconds without any inbound bytes before the connection is
+    #: evicted.  Defeats silent connection squatting.
+    idle_timeout: float | None = None
+    #: Seconds a queued response may sit without the peer's windows
+    #: letting any byte out.  Defeats the zero-window read stall.
+    stall_timeout: float | None = None
+    #: Maximum non-ack PINGs per :attr:`rate_window`.
+    ping_rate_limit: int | None = None
+    #: Maximum non-ack SETTINGS per :attr:`rate_window`.
+    settings_rate_limit: int | None = None
+    #: Maximum RST_STREAMs per :attr:`rate_window` (rapid-reset churn).
+    rst_rate_limit: int | None = None
+    #: Width of the rate-limit windows, seconds.
+    rate_window: float = 1.0
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(
+            getattr(self, knob) is not None
+            for knob in (
+                "preface_timeout",
+                "header_timeout",
+                "idle_timeout",
+                "stall_timeout",
+                "ping_rate_limit",
+                "settings_rate_limit",
+                "rst_rate_limit",
+            )
+        )
+
+    def clone(self, **overrides) -> "AbuseGuards":
+        return replace(self, **overrides)
+
+    def scaled(self, factor: float) -> "AbuseGuards":
+        """Shrink every deadline by ``factor`` (rate limits unchanged).
+
+        Loopback battery runs pay wall-clock seconds per deadline; the
+        scaled copy keeps the per-vendor *shape* while the test stays
+        fast.
+        """
+
+        def _scale(value: float | None) -> float | None:
+            return None if value is None else value * factor
+
+        def _scale_limit(value: int | None) -> int | None:
+            return None if value is None else max(3, int(value * factor))
+
+        return replace(
+            self,
+            preface_timeout=_scale(self.preface_timeout),
+            header_timeout=_scale(self.header_timeout),
+            idle_timeout=_scale(self.idle_timeout),
+            stall_timeout=_scale(self.stall_timeout),
+            ping_rate_limit=_scale_limit(self.ping_rate_limit),
+            settings_rate_limit=_scale_limit(self.settings_rate_limit),
+            rst_rate_limit=_scale_limit(self.rst_rate_limit),
+            rate_window=self.rate_window * factor,
+        )
+
+
 class TinyWindowBehavior(enum.Enum):
     """What the server does when a stream's send window is very small.
 
@@ -152,6 +234,13 @@ class ServerProfile:
     #: When the peer exceeds MAX_CONCURRENT_STREAMS the engine refuses
     #: the stream with RST_STREAM(REFUSED_STREAM), as Nginx/Tengine do.
     enforce_max_concurrent: bool = True
+
+    # -- robustness countermeasures (ISSUE 7) -----------------------------------
+    #: Abuse-guard configuration.  All-off by default: the measured
+    #: 2016 deployments had none of these, and the guards-off engine
+    #: must stay byte-identical to the pre-guard behaviour.  Per-vendor
+    #: hardened defaults live in :data:`repro.servers.vendors.DEFAULT_GUARDS`.
+    guards: AbuseGuards = field(default_factory=AbuseGuards)
 
     # -- timing -------------------------------------------------------------------
     #: Mean per-request application processing delay in seconds.  This

@@ -30,13 +30,18 @@ class Site:
 
 
 def deploy_site(
-    network: Network, site: Site, port: int = 443, clear_port: int | None = 80
+    network: Network,
+    site: Site,
+    port: int = 443,
+    clear_port: int | None = 80,
+    record_frames: bool = False,
 ) -> H2Server:
     """Create the site's host and attach an engine; returns the server.
 
     The TLS listener goes on ``port``; a cleartext HTTP/1.1 listener
     (serving Upgrade: h2c when the profile supports it) goes on
-    ``clear_port`` unless that is None.
+    ``clear_port`` unless that is None.  ``record_frames`` turns on the
+    engine's per-connection inbound-frame timelines (detector corpora).
     """
     host = network.add_host(site.domain, site.link)
     server = H2Server(
@@ -46,6 +51,7 @@ def deploy_site(
         # stable_seed, not hash(): the engine's universe must be
         # reproducible across processes (campaign crash/resume).
         seed=stable_seed(network.seed, site.domain) & 0xFFFFFFFF,
+        record_frames=record_frames,
     )
     server.install(host, port, tls=True)
     if clear_port is not None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.h2.connection import Reaction
 from repro.h2.constants import SettingCode
-from repro.servers.profiles import ServerProfile, TinyWindowBehavior
+from repro.servers.profiles import AbuseGuards, ServerProfile, TinyWindowBehavior
 
 MCS = int(SettingCode.MAX_CONCURRENT_STREAMS)
 IWS = int(SettingCode.INITIAL_WINDOW_SIZE)
@@ -178,6 +178,97 @@ def tengine_aserver() -> ServerProfile:
     """Tengine/Aserver — tmall.com's rebranded Tengine (2nd experiment)."""
     profile = tengine()
     return profile.clone(name="tengine-aserver", server_header="Tengine/Aserver")
+
+
+#: Per-vendor hardened abuse-guard defaults (ISSUE 7).  None of the
+#: 2016 builds in Table III shipped these, so they are NOT part of the
+#: vendor factories above — the battery (and any caller that wants a
+#: hardened engine) applies them explicitly via :func:`hardened`.  The
+#: knobs loosely mirror the defences the vendors later grew (nginx's
+#: client_header_timeout lineage, Apache's mod_reqtimeout, nghttp2's
+#: rapid-reset mitigation), scaled to testbed seconds and deliberately
+#: differentiated so the survival matrix separates strict from lenient
+#: configurations.
+DEFAULT_GUARDS: dict[str, AbuseGuards] = {
+    "nginx": AbuseGuards(
+        preface_timeout=3.0,
+        header_timeout=3.0,
+        idle_timeout=8.0,
+        stall_timeout=6.0,
+        ping_rate_limit=60,
+        settings_rate_limit=20,
+        rst_rate_limit=100,
+    ),
+    "litespeed": AbuseGuards(
+        preface_timeout=2.0,
+        header_timeout=2.0,
+        idle_timeout=6.0,
+        stall_timeout=4.0,
+        ping_rate_limit=40,
+        settings_rate_limit=10,
+        rst_rate_limit=50,
+    ),
+    "h2o": AbuseGuards(
+        preface_timeout=4.0,
+        header_timeout=4.0,
+        idle_timeout=10.0,
+        stall_timeout=8.0,
+        ping_rate_limit=80,
+        settings_rate_limit=30,
+        rst_rate_limit=150,
+    ),
+    "nghttpd": AbuseGuards(
+        preface_timeout=5.0,
+        header_timeout=5.0,
+        idle_timeout=12.0,
+        stall_timeout=10.0,
+        ping_rate_limit=100,
+        settings_rate_limit=40,
+        rst_rate_limit=200,
+    ),
+    "tengine": AbuseGuards(
+        preface_timeout=3.0,
+        header_timeout=3.0,
+        idle_timeout=8.0,
+        stall_timeout=6.0,
+        ping_rate_limit=50,
+        settings_rate_limit=15,
+        rst_rate_limit=80,
+    ),
+    "apache": AbuseGuards(
+        preface_timeout=4.0,
+        header_timeout=4.0,
+        idle_timeout=9.0,
+        stall_timeout=7.0,
+        ping_rate_limit=70,
+        settings_rate_limit=25,
+        rst_rate_limit=120,
+    ),
+}
+
+#: Fallback guard set for profiles without a vendor-specific entry.
+GENERIC_GUARDS = AbuseGuards(
+    preface_timeout=4.0,
+    header_timeout=4.0,
+    idle_timeout=10.0,
+    stall_timeout=8.0,
+    ping_rate_limit=80,
+    settings_rate_limit=30,
+    rst_rate_limit=150,
+)
+
+
+def vendor_guards(name: str) -> AbuseGuards:
+    """The hardened default guard set for a vendor (generic fallback)."""
+    return DEFAULT_GUARDS.get(name, GENERIC_GUARDS)
+
+
+def hardened(profile: ServerProfile, scale: float = 1.0) -> ServerProfile:
+    """A copy of ``profile`` with its vendor's default guards enabled."""
+    guards = vendor_guards(profile.name)
+    if scale != 1.0:
+        guards = guards.scaled(scale)
+    return profile.clone(guards=guards)
 
 
 #: The six testbed servers, keyed by profile name (Table III order).

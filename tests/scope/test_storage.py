@@ -324,3 +324,48 @@ class TestScanErrorRoundTrip:
         document["errors"] = ["negotiation: something broke"]
         rebuilt = _rebuild(SiteReport, json.loads(json.dumps(document)))
         assert rebuilt.errors == ["negotiation: something broke"]
+
+
+class TestTimelineSchemaMigration:
+    def test_v3_traces_table_gains_label_column(self, tmp_path):
+        # A PR-era-v3 file has a traces table without the label column;
+        # opening it must ALTER in place, then store labelled timelines.
+        import sqlite3
+
+        from repro.scope.storage import SCHEMA_VERSION
+        from repro.scope.trace import ConnectionTimeline
+
+        path = tmp_path / "v3.db"
+        db = sqlite3.connect(path)
+        with db:
+            db.execute(
+                "CREATE TABLE traces (campaign TEXT NOT NULL, "
+                "domain TEXT NOT NULL, probe TEXT NOT NULL, "
+                "document TEXT NOT NULL, PRIMARY KEY (campaign, domain, probe))"
+            )
+            db.execute(
+                "INSERT INTO traces VALUES ('old', 'a.test', 'negotiation', '[]')"
+            )
+            db.execute("CREATE TABLE schema_version (version INTEGER NOT NULL)")
+            db.execute("INSERT INTO schema_version (version) VALUES (3)")
+        db.close()
+        with ReportStore(path) as store:
+            version = store.connection.execute(
+                "SELECT MAX(version) FROM schema_version"
+            ).fetchone()[0]
+            assert version == SCHEMA_VERSION
+            columns = [
+                row[1]
+                for row in store.connection.execute("PRAGMA table_info(traces)")
+            ]
+            assert "label" in columns
+            # Pre-migration rows read back label-free...
+            assert store.load_trace("old", "a.test", "negotiation") == []
+            # ...and the new timeline API works on the migrated table.
+            store.save_timelines(
+                "atk",
+                "nginx.ping_flood",
+                [ConnectionTimeline(opened_at=0.0, closed_at=1.0, label="ping_flood")],
+            )
+            assert store.timeline_labels("atk") == {"ping_flood": 1}
+            assert len(store.load_timelines("atk")) == 1

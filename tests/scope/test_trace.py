@@ -266,3 +266,86 @@ class TestTraceStorage:
             assert store.load_trace("camp", "site.test", "nope") is None
             assert store.trace_probes("camp", "other.test") == []
 
+
+
+class TestTimelineRoundTrip:
+    """Connection timelines (ISSUE 7 corpora) survive JSON + SQLite."""
+
+    def attack_shaped(self):
+        from repro.scope.trace import ConnectionTimeline
+
+        frames = [TracedFrame(at=0.0, frame=SettingsFrame(settings=[(4, 0)]))]
+        # A CONTINUATION trickle: 1-byte fragments, none terminal.
+        frames += [
+            TracedFrame(
+                at=0.5 + 0.25 * i,
+                frame=ContinuationFrame(stream_id=1, header_block=b"x"),
+            )
+            for i in range(24)
+        ]
+        # A PING volley of identical frames (floods repeat exactly).
+        frames += [
+            TracedFrame(at=7.0 + 0.01 * i, frame=PingFrame(payload=b"\x00" * 8))
+            for i in range(10)
+        ]
+        frames.append(
+            TracedFrame(
+                at=8.0,
+                frame=GoAwayFrame(
+                    last_stream_id=0,
+                    error_code=11,  # ENHANCE_YOUR_CALM
+                    debug_data=b"header-timeout",
+                ),
+            )
+        )
+        return ConnectionTimeline(
+            opened_at=0.25,
+            closed_at=8.05,
+            protocol="h2",
+            frames=frames,
+            label="slow_headers",
+        )
+
+    def test_encode_decode_through_json(self):
+        import json
+
+        from repro.scope.trace import decode_timeline, encode_timeline
+
+        timeline = self.attack_shaped()
+        document = json.loads(json.dumps(encode_timeline(timeline)))
+        restored = decode_timeline(document)
+        assert restored.opened_at == timeline.opened_at
+        assert restored.closed_at == timeline.closed_at
+        assert restored.protocol == "h2"
+        assert restored.label == "slow_headers"
+        assert restored.frames == timeline.frames
+        assert render_trace(restored.frames) == render_trace(timeline.frames)
+
+    def test_unlabelled_open_timeline(self):
+        from repro.scope.trace import (
+            ConnectionTimeline,
+            decode_timeline,
+            encode_timeline,
+        )
+
+        timeline = ConnectionTimeline(opened_at=3.0, protocol="hello")
+        restored = decode_timeline(encode_timeline(timeline))
+        assert restored.closed_at is None and restored.label is None
+        assert restored.end_at == 3.0
+
+    def test_store_round_trip_with_labels(self, tmp_path):
+        timeline = self.attack_shaped()
+        with ReportStore(tmp_path / "timelines.db") as store:
+            store.save_timelines("atk", "nginx.slow_headers", [timeline])
+            store.save_traces("atk", "probe.site", {"negotiation": []})
+            restored = store.load_timelines("atk")
+            # Probe traces share the table but are not timelines.
+            assert len(restored) == 1
+            assert restored[0].label == "slow_headers"
+            assert restored[0].frames == timeline.frames
+            assert store.load_timelines("atk", "nginx.slow_headers")
+            assert store.load_timelines("atk", "other") == []
+            assert store.timeline_labels("atk") == {
+                None: 1,
+                "slow_headers": 1,
+            }

@@ -237,3 +237,55 @@ def test_resume_completes_interrupted_campaign(tmp_path, capsys):
         counts = CampaignJournal(store).counts("experiment-1-faults")
         assert counts["pending"] == 0
         assert store.count("experiment-1-faults") == sum(counts.values())
+
+
+def test_attack_battery_matrix(capsys):
+    rc = main(
+        ["attack", "--profile", "ping_flood", "--vendor", "nginx",
+         "--guards", "vendor", "--duration", "4"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ping_flood" in out and "nginx" in out
+    assert "evict@" in out and "ping-flood" in out
+
+
+def test_attack_unknown_profile(capsys):
+    rc = main(["attack", "--profile", "nonsense"])
+    assert rc == 2
+    assert "unknown attack profile" in capsys.readouterr().err
+
+
+def test_attack_legacy_profile_prints_row(capsys):
+    rc = main(["attack", "--profile", "table_flood"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert '"profile": "table_flood"' in out
+
+
+def test_attack_db_then_detect(tmp_path, capsys):
+    db = tmp_path / "attack.sqlite"
+    rc = main(
+        ["attack", "--profile", "slow_headers", "--vendor", "nginx",
+         "--guards", "vendor", "--duration", "6", "--db", str(db)]
+    )
+    assert rc == 0
+    assert "stored labelled timelines" in capsys.readouterr().out
+    rc = main(["detect", "--db", str(db), "--min-recall", "1.0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert '"precision"' in out and '"slow_headers"' in out
+    # An unreachable precision floor must fail the gate.
+    rc = main(["detect", "--db", str(db), "--min-precision", "1.1"])
+    capsys.readouterr()
+    assert rc == 1
+
+
+def test_detect_empty_db(tmp_path, capsys):
+    from repro.scope.storage import ReportStore
+
+    db = tmp_path / "empty.sqlite"
+    ReportStore(db).close()
+    rc = main(["detect", "--db", str(db)])
+    assert rc == 2
+    assert "no stored connection timelines" in capsys.readouterr().err

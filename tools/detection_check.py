@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Detector-regression gate over BENCH_detection.json documents.
+
+CI regenerates the detection score on the candidate tree and calls::
+
+    python tools/detection_check.py committed.json candidate.json
+
+The check fails (exit 1) when the candidate's precision or recall
+drops below the floors recorded in the committed file, below the
+committed measurements themselves (a regression from the recorded
+quality, even if still above the floor), or when any attack profile
+that the committed run detected fully is no longer fully detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", type=Path, help="checked-in BENCH_detection.json")
+    parser.add_argument("candidate", type=Path, help="freshly generated score")
+    args = parser.parse_args(argv)
+
+    committed = json.loads(args.committed.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    floors = committed.get("floors", {})
+    floor_precision = max(floors.get("precision", 0.0), committed["precision"])
+    floor_recall = max(floors.get("recall", 0.0), committed["recall"])
+
+    failures = []
+    if candidate["precision"] < floor_precision:
+        failures.append(
+            f"precision {candidate['precision']:.4f} below floor "
+            f"{floor_precision:.4f}"
+        )
+    if candidate["recall"] < floor_recall:
+        failures.append(
+            f"recall {candidate['recall']:.4f} below floor {floor_recall:.4f}"
+        )
+    for name, committed_row in committed.get("per_profile", {}).items():
+        candidate_row = candidate.get("per_profile", {}).get(name)
+        if candidate_row is None:
+            failures.append(f"profile {name}: missing from candidate score")
+            continue
+        if (
+            committed_row["detected"] == committed_row["of"]
+            and candidate_row["detected"] < candidate_row["of"]
+        ):
+            failures.append(
+                f"profile {name}: {candidate_row['detected']}/"
+                f"{candidate_row['of']} detected (was fully detected)"
+            )
+
+    if failures:
+        print("detector regression:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"detector ok: precision {candidate['precision']:.4f} "
+        f"(floor {floor_precision:.4f}), recall {candidate['recall']:.4f} "
+        f"(floor {floor_recall:.4f}), "
+        f"{len(candidate.get('per_profile', {}))} profiles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
