@@ -1,4 +1,5 @@
-"""Sharded-scan throughput: sites/sec at workers ∈ {1, 2, 4, 8}.
+"""Sharded-scan throughput: workers ∈ {1, 2, 4, 8} and, since ISSUE 8,
+single-loop concurrency ∈ {1, 8, 64, 256, 1024}.
 
 Emits ``benchmarks/results/BENCH_parallel_scan.json`` so the perf
 trajectory of the parallel runner is recorded run over run.  The
@@ -7,8 +8,20 @@ per-site universes are CPU-bound), so ``cpu_count`` is stored next to
 the numbers: on a single-core runner the workers>1 rows measure pure
 process overhead, not the architecture.
 
+The concurrency sweep records two throughputs per level:
+
+* ``sites_per_sec`` — honest wall-clock rate.  Simulated scans burn
+  CPU, not wall time, so interleaving them on one core can only *add*
+  scheduler overhead here; this column keeps us honest about it.
+* ``modeled_sites_per_sec`` — sites per **virtual** second of campaign
+  makespan (``ConcurrencyMetrics.virtual_makespan``).  This is the
+  quantity concurrency exists to improve — on a live network, virtual
+  waiting is real waiting — and the one ``tools/concurrency_check.py``
+  gates (>= 5x serial at concurrency 64).
+
 The benchmark also re-checks the determinism contract on the way: all
-worker counts must produce byte-identical reports.
+worker counts and all concurrency levels must produce byte-identical
+reports.
 """
 
 import json
@@ -18,11 +31,14 @@ import time
 from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
 from repro.net.faults import FaultPlan
 from repro.population import PopulationConfig, make_population
+from repro.scope.concurrent import ConcurrencyMetrics, scan_interleaved
+from repro.scope.parallel import ScanOptions, SiteTask
 from repro.scope.resilience import ResilienceConfig
 from repro.scope.scanner import scan_population
 from repro.scope.storage import _encode
 
 WORKER_COUNTS = [1, 2, 4, 8]
+CONCURRENCY_LEVELS = [1, 8, 64, 256, 1024]
 N_SITES = int(os.environ.get("REPRO_BENCH_PARALLEL_SITES", "300"))
 CHAOS_SPEC = "refuse:0.1x6,reset:0.06x4,stall(30):0.05,truncate(400):0.05"
 
@@ -68,6 +84,62 @@ def bench_parallel_scan(benchmark):
             rows[workers]["sites_per_sec"] / rows[1]["sites_per_sec"], 2
         )
 
+    # -- single-loop concurrency sweep (ISSUE 8) ------------------------
+    options = ScanOptions(
+        include=tuple(sorted(kwargs["include"])),
+        seed=kwargs["seed"],
+        fault_plan=kwargs["fault_plan"],
+        resilience=kwargs["resilience"],
+    )
+    tasks = [
+        SiteTask(position=index, site_index=index, domain=site.domain)
+        for index, site in enumerate(sites)
+    ]
+
+    def interleave_at(concurrency):
+        metrics = ConcurrencyMetrics()
+        start = time.perf_counter()
+        results = list(
+            scan_interleaved(
+                sites, tasks, options, concurrency=concurrency,
+                metrics=metrics,
+            )
+        )
+        elapsed = time.perf_counter() - start
+        reports = [r.report for r in sorted(results, key=lambda r: r.task.position)]
+        return reports, elapsed, metrics
+
+    conc_rows = {}
+    conc_serialized = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        reports, elapsed, metrics = interleave_at(concurrency)
+        makespan = metrics.virtual_makespan
+        conc_rows[concurrency] = {
+            "concurrency": concurrency,
+            "seconds": round(elapsed, 4),
+            "sites_per_sec": round(len(sites) / elapsed, 2),
+            "virtual_makespan": round(makespan, 4),
+            "modeled_sites_per_sec": round(len(sites) / makespan, 2),
+            "high_water": metrics.high_water,
+            "handoffs": metrics.handoffs,
+        }
+        conc_serialized[concurrency] = [
+            json.dumps(_encode(report), sort_keys=True) for report in reports
+        ]
+
+    for concurrency in CONCURRENCY_LEVELS[1:]:
+        assert conc_serialized[concurrency] == conc_serialized[1], (
+            f"concurrency={concurrency} broke the determinism contract"
+        )
+        conc_rows[concurrency]["modeled_speedup_vs_serial"] = round(
+            conc_rows[concurrency]["modeled_sites_per_sec"]
+            / conc_rows[1]["modeled_sites_per_sec"],
+            2,
+        )
+    assert conc_serialized[1] == serialized[1], (
+        "scan_interleaved serial leg diverged from scan_population"
+    )
+
     # benchmark the serial leg so pytest-benchmark has a stable anchor.
     benchmark.pedantic(scan_at, args=(1,), rounds=1, iterations=1)
 
@@ -76,6 +148,9 @@ def bench_parallel_scan(benchmark):
         "cpu_count": os.cpu_count(),
         "chaos_spec": CHAOS_SPEC,
         "results": [rows[workers] for workers in WORKER_COUNTS],
+        "concurrency_results": [
+            conc_rows[concurrency] for concurrency in CONCURRENCY_LEVELS
+        ],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_parallel_scan.json"

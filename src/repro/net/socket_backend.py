@@ -16,12 +16,32 @@ Name resolution is pluggable so hermetic tests can map simulated
 domains onto loopback ports (see :class:`repro.servers.loopback`): a
 ``resolver`` is either a ``{(domain, port): (host, port)}`` mapping or
 a callable returning such a pair (or ``None`` for "no such host").
+
+Two ownership modes:
+
+* **Private loop** (default, ``driver=None``): the backend owns an
+  event loop and drives it from inside ``run_until``.  One loop per
+  session — simple, but N concurrent sessions poll N loops, which is
+  what capped the PR 6 thread pool at a few hundred sessions.
+* **Shared loop** (``driver=`` a running loop host, e.g.
+  :class:`repro.scope.concurrent.LoopDriver`): all sockets multiplex
+  onto one asyncio loop running on its own thread, and ``run_until``
+  blocks on a per-backend wakeup event instead of polling.  The
+  delivery contract keeps the sans-IO client single-threaded: loop
+  callbacks only *enqueue* (received bytes into per-endpoint inboxes,
+  completed connects into a ready queue) and set the wakeup; the
+  session's thread pumps those queues inside ``run_until`` /
+  ``sleep_until``, so ``on_data`` / ``on_close`` / ``on_connect`` —
+  and all client state they touch — run on the probing thread only.
+  Writes are marshalled to the loop with ``call_soon_threadsafe``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import threading
+from collections import deque
 from collections.abc import Callable
 
 from repro.net.backend import TransportBackend
@@ -29,11 +49,25 @@ from repro.net.backend import TransportBackend
 #: Seconds between predicate evaluations while the loop runs.
 POLL_INTERVAL = 0.005
 
+#: Shared-loop mode: upper bound on one wakeup wait.  The wakeup event
+#: makes delivery latency ~0; the cap is belt-and-braces against a
+#: lost-wakeup bug ever wedging a session forever.
+_WAKEUP_CAP = 0.25
+
 
 class SocketEndpoint:
-    """Client end of a real TCP connection, duck-typing ``Endpoint``."""
+    """Client end of a real TCP connection, duck-typing ``Endpoint``.
 
-    def __init__(self, label: str):
+    With a private loop, protocol callbacks and client code run on the
+    same thread (the loop only spins inside the client's waits), so
+    ``_feed`` may invoke ``on_data`` directly.  On a shared loop the
+    protocol fires on the loop's thread, so ``_feed`` / ``_peer_closed``
+    only enqueue into ``_inbox`` under ``_lock``; the owning backend's
+    pump delivers on the session thread, and writes go the other way
+    via ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, label: str, shared_backend: "SocketBackend | None" = None):
         self.label = label
         self.on_data: Callable[[bytes], None] | None = None
         self.on_close: Callable[[], None] | None = None
@@ -42,6 +76,10 @@ class SocketEndpoint:
         self.bytes_received = 0
         self._recv_buffer = bytearray()
         self._transport: asyncio.Transport | None = None
+        self._shared = shared_backend
+        self._lock = threading.Lock()
+        self._inbox: list[bytes] = []
+        self._pending_close = False
 
     # -- sending ----------------------------------------------------------
 
@@ -52,11 +90,24 @@ class SocketEndpoint:
             return
         assert self._transport is not None
         self.bytes_sent += len(data)
-        self._transport.write(data)
+        if self._shared is not None:
+            self._shared._loop.call_soon_threadsafe(self._write_on_loop, data)
+        else:
+            self._transport.write(data)
+
+    def _write_on_loop(self, data: bytes) -> None:
+        transport = self._transport
+        if transport is not None and not transport.is_closing():
+            transport.write(data)
 
     # -- receiving (called from the protocol, inside the loop) -------------
 
     def _feed(self, data: bytes) -> None:
+        if self._shared is not None:
+            with self._lock:
+                self._inbox.append(data)
+            self._shared._wakeup.set()
+            return
         self.bytes_received += len(data)
         if self.on_data is not None:
             self.on_data(data)
@@ -68,16 +119,55 @@ class SocketEndpoint:
         self._recv_buffer.clear()
         return data
 
+    def _pump(self) -> None:
+        """Deliver queued bytes/close on the session thread (shared mode).
+
+        Bytes queued before a close are always delivered before the
+        close; a close racing fresh data re-loops until the inbox is
+        observed empty *after* the close flag, so nothing is dropped.
+        """
+        while True:
+            with self._lock:
+                chunks = self._inbox
+                self._inbox = []
+                pending_close = self._pending_close and not chunks
+            for data in chunks:
+                self.bytes_received += len(data)
+                if self.on_data is not None:
+                    self.on_data(data)
+                else:
+                    self._recv_buffer.extend(data)
+            if chunks:
+                continue
+            if pending_close and not self.closed:
+                self.closed = True
+                if self.on_close is not None:
+                    self.on_close()
+            return
+
     # -- closing ----------------------------------------------------------
 
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
-        if self._transport is not None:
-            self._transport.close()
+        transport = self._transport
+        if transport is None:
+            return
+        if self._shared is not None:
+            try:
+                self._shared._loop.call_soon_threadsafe(transport.close)
+            except RuntimeError:  # driver loop already closed
+                pass
+        else:
+            transport.close()
 
     def _peer_closed(self) -> None:
+        if self._shared is not None:
+            with self._lock:
+                self._pending_close = True
+            self._shared._wakeup.set()
+            return
         if self.closed:
             return
         self.closed = True
@@ -145,6 +235,7 @@ class SocketBackend(TransportBackend):
         timeout_scale: float = 1.0,
         connect_timeout: float = 10.0,
         gate: Callable[[str, int], None] | None = None,
+        driver=None,
     ):
         self.timeout_scale = timeout_scale
         self.connect_timeout = connect_timeout
@@ -154,10 +245,25 @@ class SocketBackend(TransportBackend):
         #: The live campaign layer installs its per-host-gap gate and
         #: global rate limiter here; ``None`` means no throttling.
         self._gate = gate
-        self._loop = asyncio.new_event_loop()
+        #: ``driver`` (anything with a running ``.loop``) switches the
+        #: backend to shared-loop mode: sockets multiplex on the
+        #: driver's loop and waits block on ``_wakeup`` (see module
+        #: docstring).  The driver owns the loop's lifecycle.
+        self._driver = driver
+        self._shared = driver is not None
+        self._loop = driver.loop if driver is not None else asyncio.new_event_loop()
         self._endpoints: list[SocketEndpoint] = []
         self._attempts: list[SocketConnectAttempt] = []
         self._tasks: set[asyncio.Task] = set()
+        #: Shared mode: concurrent.futures handles for in-flight
+        #: run_coroutine_threadsafe connects, cancellable from close().
+        self._cfutures: set = set()
+        #: Shared mode: connects completed on the loop thread, awaiting
+        #: ``attempt._complete`` on the session thread.
+        self._ready: deque[tuple[SocketConnectAttempt, SocketEndpoint | None]] = (
+            deque()
+        )
+        self._wakeup = threading.Event()
         self._closed = False
         #: Per-attempt probing policy slot (see resilience layer).
         self.probe_policy = None
@@ -191,13 +297,20 @@ class SocketBackend(TransportBackend):
             attempt.dns_failure = True
         if address is None:
             # No such host: resolve to a terminal failure on the next
-            # loop slice so callers still go through their normal wait.
+            # loop slice / pump so callers still go through their
+            # normal wait.
             if not attempt.dns_failure:
                 attempt.dns_failure = True  # resolver said "no address"
-            self._loop.call_soon(attempt._complete, None)
+            if self._shared:
+                self._enqueue_ready(attempt, None)
+            else:
+                self._loop.call_soon(attempt._complete, None)
             return attempt
 
-        endpoint = SocketEndpoint(f"client->{domain}:{port}")
+        endpoint = SocketEndpoint(
+            f"client->{domain}:{port}",
+            shared_backend=self if self._shared else None,
+        )
 
         async def _establish() -> None:
             host, real_port = address
@@ -211,26 +324,66 @@ class SocketBackend(TransportBackend):
             except asyncio.CancelledError:
                 # close() tore us down mid-connect: leave a terminal
                 # refusal behind for anyone still holding the attempt.
-                attempt._complete(None)
+                self._finish_connect(attempt, None)
                 raise
             except socket.gaierror:
                 attempt.dns_failure = True
-                attempt._complete(None)
+                self._finish_connect(attempt, None)
                 return
             except (OSError, asyncio.TimeoutError):
-                attempt._complete(None)
+                self._finish_connect(attempt, None)
                 return
             if self._closed:
                 transport.close()
-                attempt._complete(None)
+                self._finish_connect(attempt, None)
                 return
-            self._endpoints.append(endpoint)
+            self._finish_connect(attempt, endpoint)
+
+        if self._shared:
+            future = asyncio.run_coroutine_threadsafe(_establish(), self._loop)
+            self._cfutures.add(future)
+            future.add_done_callback(self._cfutures.discard)
+        else:
+            task = self._loop.create_task(_establish())
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return attempt
+
+    def _finish_connect(
+        self, attempt: SocketConnectAttempt, endpoint: SocketEndpoint | None
+    ) -> None:
+        """Terminal connect outcome, from the loop that ran _establish.
+
+        Private mode completes inline (loop and client share a thread);
+        shared mode enqueues so ``attempt.on_connect`` — client code —
+        runs on the session thread during the next pump.
+        """
+        if self._shared:
+            self._enqueue_ready(attempt, endpoint)
+        else:
+            if endpoint is not None:
+                self._endpoints.append(endpoint)
             attempt._complete(endpoint)
 
-        task = self._loop.create_task(_establish())
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
-        return attempt
+    def _enqueue_ready(
+        self, attempt: SocketConnectAttempt, endpoint: SocketEndpoint | None
+    ) -> None:
+        self._ready.append((attempt, endpoint))
+        self._wakeup.set()
+
+    def _pump(self) -> None:
+        """Session-thread delivery for shared mode: complete ready
+        connects, then drain every endpoint's inbox."""
+        while True:
+            try:
+                attempt, endpoint = self._ready.popleft()
+            except IndexError:
+                break
+            if endpoint is not None:
+                self._endpoints.append(endpoint)
+            attempt._complete(endpoint)
+        for endpoint in self._endpoints:
+            endpoint._pump()
 
     # -- clock ------------------------------------------------------------
 
@@ -239,6 +392,8 @@ class SocketBackend(TransportBackend):
         return self._loop.time()
 
     def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        if self._shared:
+            return self._run_until_shared(predicate, timeout)
         if predicate():
             return True
         deadline = self._loop.time() + timeout
@@ -254,7 +409,38 @@ class SocketBackend(TransportBackend):
 
         return self._loop.run_until_complete(_wait())
 
+    def _run_until_shared(
+        self, predicate: Callable[[], bool], timeout: float
+    ) -> bool:
+        # clear -> pump -> predicate -> wait is lost-wakeup-free: any
+        # enqueue after the clear sets the event, so the wait returns
+        # immediately and the next pump delivers it.
+        self._pump()
+        if predicate():
+            return True
+        deadline = self._loop.time() + timeout
+        while True:
+            self._wakeup.clear()
+            self._pump()
+            if predicate():
+                return True
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                self._pump()
+                return predicate()
+            self._wakeup.wait(min(remaining, _WAKEUP_CAP))
+
     def sleep_until(self, when: float) -> None:
+        if self._shared:
+            # Keep pumping while asleep so inboxes drain with the same
+            # during-the-wait delivery semantics as the private loop.
+            while True:
+                delay = when - self._loop.time()
+                if delay <= 0:
+                    return
+                self._wakeup.clear()
+                self._pump()
+                self._wakeup.wait(min(delay, _WAKEUP_CAP))
         delay = when - self._loop.time()
         if delay > 0:
             self._loop.run_until_complete(asyncio.sleep(delay))
@@ -270,11 +456,16 @@ class SocketBackend(TransportBackend):
         descriptor the backend opened is closed, and every outstanding
         :class:`SocketConnectAttempt` has reached a terminal state so
         a caller blocked on ``established or refused`` can make
-        progress.  Idempotent.
+        progress.  Idempotent.  In shared mode the loop belongs to the
+        driver and stays running: only this backend's futures,
+        transports and attempts are torn down.
         """
         if self._closed:
             return
         self._closed = True
+        if self._shared:
+            self._close_shared()
+            return
         # 1. Cancel in-flight connects and reap them.  _establish's
         #    CancelledError handler marks each attempt refused; gather
         #    consumes the cancellations so no task outlives the loop.
@@ -298,3 +489,37 @@ class SocketBackend(TransportBackend):
             self._loop.run_until_complete(asyncio.sleep(0))
         self._loop.run_until_complete(self._loop.shutdown_asyncgens())
         self._loop.close()
+
+    def _close_shared(self) -> None:
+        # 1. Cancel in-flight connects.  A cancelled _establish enqueues
+        #    a terminal refusal from the loop thread; step 4 resolves
+        #    any attempt the cancellation beat to the queue.
+        for future in list(self._cfutures):
+            future.cancel()
+        # 2. Flush completions that already happened, so every live
+        #    endpoint is in self._endpoints.
+        self._pump()
+        # 3. Close this backend's transports on the loop thread.
+        endpoints = list(self._endpoints)
+        done = threading.Event()
+
+        def _teardown() -> None:
+            try:
+                for endpoint in endpoints:
+                    transport = endpoint._transport
+                    if transport is not None:
+                        transport.close()
+            finally:
+                done.set()
+
+        try:
+            self._loop.call_soon_threadsafe(_teardown)
+        except RuntimeError:  # driver already gone; fds die with it
+            pass
+        else:
+            done.wait(timeout=5.0)
+        # 4. Deliver what arrived during teardown, then force every
+        #    attempt terminal so no caller stays blocked.
+        self._pump()
+        for attempt in self._attempts:
+            attempt._complete(None)

@@ -245,6 +245,9 @@ def _resume_command(args: argparse.Namespace) -> str:
         # Not part of the manifest: resuming with a different worker
         # count is safe and produces byte-identical results.
         parts.append(f"--workers {args.workers}")
+    if args.concurrency != 8:
+        # Same: in-flight sessions per worker don't affect the bytes.
+        parts.append(f"--concurrency {args.concurrency}")
     parts.append("--resume")
     return " ".join(parts)
 
@@ -304,6 +307,7 @@ def _store_campaign(
                     resume=args.resume,
                     checkpoint_every=args.checkpoint_every,
                     workers=args.workers,
+                    concurrency=args.concurrency,
                 )
             except CampaignInterrupted as interrupt:
                 print(
@@ -1010,7 +1014,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         metavar="N",
-        help="socket backend: max in-flight probe sessions (default 8)",
+        help="max in-flight probe sessions per process (default 8): the "
+        "live pool size on the socket backend, the single-loop "
+        "interleaving width per worker on the simulated backend; "
+        "composes multiplicatively with --workers and never changes "
+        "simulated-scan bytes",
     )
     scan.add_argument(
         "--per-host-gap",

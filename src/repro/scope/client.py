@@ -119,11 +119,13 @@ class ScopeClient:
         self.errors: list[str] = []
         self._hello_buffer = b""
         self._mode = "idle"
-        #: Bytes that arrived between hello completion and the protocol
-        #: engine attaching.  The simulator never hits this window (no
-        #: time passes between the two), but a real TCP stack may
-        #: coalesce the server hello with the first protocol bytes into
-        #: one segment; they are replayed when the mode settles.
+        #: Bytes that arrived while no parser was live: before the TLS
+        #: hello started ("idle") or between hello completion and the
+        #: protocol engine attaching ("negotiated").  The simulator
+        #: never hits these windows (no time passes inside them), but a
+        #: real TCP stack may coalesce the server hello with the first
+        #: protocol bytes into one segment, and a server can speak
+        #: before our hello; they are replayed when the mode settles.
         self._limbo_buffer = bytearray()
         self._raw_http1 = bytearray()
         self._http1_response_at: float | None = None
@@ -199,6 +201,15 @@ class ScopeClient:
         assert self.endpoint is not None
         self.endpoint.on_data = self._on_data
         self.endpoint.on_close = self._on_close
+        # Bytes the server sent before on_data was attached (a server
+        # that speaks first, or a shared-loop pump delivering connect
+        # completion and first segment together) sit in the endpoint's
+        # receive buffer: drain them into the limbo path now instead of
+        # stranding them.  The simulator never has any (no time passes
+        # between completion and attach), so sim bytes are unaffected.
+        pending = self.endpoint.drain()
+        if pending:
+            self._on_data(pending)
         return True
 
     def tls_handshake(self, timeout: float = DEFAULT_TIMEOUT) -> TlsOutcome:
@@ -206,6 +217,7 @@ class ScopeClient:
         assert self.endpoint is not None, "connect() first"
         self._mode = "hello"
         self.endpoint.send(encode_client_hello(self.alpn, self.offer_npn))
+        self._replay_limbo()  # a server that spoke before our hello
         self._wait(
             lambda: self._mode != "hello",
             self._budget(timeout, "tls hello"),
@@ -283,7 +295,10 @@ class ScopeClient:
                 self._http1_response_at = self.backend.now
             self._raw_http1.extend(data)
             return
-        if self._mode == "negotiated":
+        if self._mode in ("negotiated", "idle"):
+            # Not parsing yet (pre-hello, or between hello completion
+            # and engine attach): hold the bytes for _replay_limbo
+            # instead of dropping them on the floor.
             self._limbo_buffer.extend(data)
             return
         if self._mode != "h2" or self.conn is None:

@@ -1,0 +1,540 @@
+"""Single-loop session multiplexing: N in-flight probe sessions, one lane.
+
+``BENCH_parallel_scan.json`` showed process sharding is a net *loss* on
+small hosts (fork/IPC overhead dominates post-PR-4 per-site cost), and
+the paper's own prober only reached the Alexa-1M by keeping thousands
+of connections in flight from one process.  This module is that lever:
+a cooperative scheduler that keeps up to ``concurrency`` probe sessions
+in flight inside one process, on one logical event loop.
+
+Two facts make this safe and simple:
+
+* **Private universes.**  Every site is scanned in its own
+  ``Simulation`` + ``Network`` seeded ``(seed + site_index)``, so a
+  site's report is a pure function of the manifest.  *Any* interleaving
+  of sessions therefore preserves byte-identical reports — the
+  scheduler only has to be deterministic (stable completion order),
+  non-starving, and isolated (one session's fault or retry cannot stall
+  the others).
+* **Sans-IO probes.**  All probe waits go through
+  ``TransportBackend.run_until`` / ``sleep_until`` (PR 5), so a backend
+  subclass can slice those waits at event boundaries and hand control
+  to whichever session is earliest on a *global* virtual clock.
+
+Scheduler model (the "baton")
+-----------------------------
+
+Probe code is synchronous, so each in-flight session runs on its own
+thread — but exactly **one** thread runs at a time: a baton is handed
+off at backend wait points, which is what makes this a single logical
+event loop rather than a thread pool.  Each lane ``i`` is admitted at
+global virtual time ``offset_i`` (the global clock when a slot freed)
+and its global position is ``offset_i + sim_i.now``.  When a lane
+reaches a wait, :class:`InterleavedBackend` computes the global time of
+its next step (next simulation event, or the wait deadline) and parks
+if — and only if — some other lane wakes earlier: **global virtual time
+only advances when every lane with an earlier wake-up has run**.  The
+deterministic policy always grants the lane with the minimal
+``(wake_time, admission_index)``; because ties are broken by admission
+index, the schedule (and thus the completion order) is a pure function
+of the task list.  A seeded-random policy is also provided: it grants a
+uniformly random lane one event step per grant, which the fuzz battery
+uses to prove that *no* interleaving can change a single report byte.
+
+The slice optimisation matters: a full park/resume handoff costs two
+Event round-trips, so a lane only parks when another lane's wake time
+is actually earlier — otherwise it keeps running inline.  With similar
+per-site costs a lane processes many events per handoff and the
+scheduling overhead stays a few percent of the scan itself.
+
+Composition: :mod:`repro.scope.parallel` embeds this scheduler both in
+its serial path and inside each worker process, so ``--workers W
+--concurrency C`` keeps ``W x C`` sessions in flight while the parent
+stays the sole SQLite writer and the reorder buffer keeps journal bytes
+identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.net.backend import SimulatedBackend
+from repro.scope.report import SiteReport
+from repro.scope.resilience import make_scan_error
+
+_INFINITY = float("inf")
+
+#: Stack size for lane threads.  Lanes are shallow (probe code plus the
+#: engine's callback nesting), and ~1k in-flight lanes at the default
+#: 8 MiB would reserve gigabytes of address space for nothing.
+LANE_STACK_BYTES = 1 << 20
+
+#: Hard ceiling on events processed inside one ``run_until`` /
+#: ``sleep_until`` slice — the same runaway guard ``Simulation.run``
+#: applies, kept so a pathological self-rescheduling universe cannot
+#: wedge the whole scheduler.
+_MAX_SLICE_EVENTS = 10_000_000
+
+
+class SchedulerAbort(BaseException):
+    """Raised inside a lane thread to unwind an aborted scan.
+
+    Deliberately a ``BaseException``: the probe layer's "a scan survives
+    anything" handlers catch ``Exception``, and an abort must tear the
+    lane down, not become an error-bearing report.
+    """
+
+
+@dataclass
+class ConcurrencyMetrics:
+    """Observable scheduler behaviour, for tests and the benchmark.
+
+    ``virtual_makespan`` is the campaign's end-to-end *global* virtual
+    time: what the wall-clock duration becomes once the waits are real
+    network waits instead of simulated ones.  ``sites / makespan`` is
+    the modeled scan throughput the benchmark sweep records alongside
+    honest wall throughput (interleaving cannot shrink CPU time, but it
+    collapses wait time — which is what dominates a real campaign).
+    """
+
+    concurrency: int = 1
+    admitted: int = 0
+    completed: int = 0
+    #: Most lanes simultaneously in flight (never above ``concurrency``).
+    high_water: int = 0
+    #: Full park/resume baton handoffs (the slice optimisation keeps
+    #: this far below the event count).
+    handoffs: int = 0
+    #: Global virtual time at which the last lane completed.
+    virtual_makespan: float = 0.0
+
+
+class _Lane:
+    """One in-flight session: its thread, clock offset and park state."""
+
+    __slots__ = (
+        "index",
+        "task",
+        "offset",
+        "position",
+        "horizon_g",
+        "horizon_index",
+        "resume",
+        "thread",
+        "finished",
+        "report",
+        "failure",
+        "aborted",
+        "handoffs",
+        "_baton",
+    )
+
+    def __init__(self, index: int, task, offset: float, baton: threading.Event):
+        self.index = index
+        self.task = task
+        #: Global virtual time at admission; the lane's global position
+        #: is ``offset + local_sim.now``.
+        self.offset = offset
+        self.position = offset
+        self.horizon_g = _INFINITY
+        self.horizon_index = -1
+        self.resume = threading.Event()
+        self.thread: threading.Thread | None = None
+        self.finished = False
+        self.report: SiteReport | None = None
+        self.failure: BaseException | None = None
+        self.aborted = False
+        self.handoffs = 0
+        self._baton = baton
+
+    # Called by InterleavedBackend before every step that would move
+    # this lane's global position to ``wake_g`` — the scheduler's only
+    # hook into the scan, so it is kept deliberately cheap: two float
+    # compares on the inline path, a full handoff only when another
+    # lane genuinely wakes earlier.
+    def advance(self, wake_g: float) -> None:
+        if self.aborted:
+            raise SchedulerAbort
+        if wake_g < self.position:  # global position is monotone (the
+            wake_g = self.position  # backward-clock oddity stays local)
+        if wake_g < self.horizon_g or (
+            wake_g == self.horizon_g and self.index < self.horizon_index
+        ):
+            self.position = wake_g
+            return
+        self._park(wake_g)
+
+    def _park(self, wake_g: float) -> None:
+        self.position = wake_g
+        self.handoffs += 1
+        self.resume.clear()
+        self._baton.set()  # hand control back to the scheduler…
+        self.resume.wait()  # …and sleep until granted again
+        if self.aborted:
+            raise SchedulerAbort
+
+
+class InterleavedBackend(SimulatedBackend):
+    """A :class:`SimulatedBackend` whose waits yield at event boundaries.
+
+    Byte-compatibility contract: for the session's *private* universe
+    this class is observationally identical to ``SimulatedBackend`` —
+    the same events run at the same local times, the predicate is
+    evaluated exactly as often (once up front, once per executed
+    callback, once at the deadline only when the clock moved), and the
+    pinned PR 4 edge semantics hold: a ``timeout=0`` wait returns False
+    without re-evaluating the predicate when the clock did not move, and
+    ``sleep_until`` a time *before* now preserves ``Simulation.run``'s
+    documented backward-clock oddity by delegating the final clock move
+    to it.  The only addition is a :meth:`_Lane.advance` call before
+    each step, which may suspend the thread — invisible to the scan.
+    """
+
+    def __init__(self, network, lane: _Lane):
+        super().__init__(network)
+        self._lane = lane
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        sim = self.sim
+        lane = self._lane
+        offset = lane.offset
+        deadline = sim.now + timeout
+        if predicate():
+            return True
+        for _ in range(_MAX_SLICE_EVENTS):
+            peek = sim.next_event_time()
+            if peek is None or peek > deadline:
+                if deadline == sim.now:
+                    return False
+                lane.advance(offset + deadline)
+                sim.run(until=deadline)
+                return predicate()
+            lane.advance(offset + peek)
+            sim.step()
+            if predicate():
+                return True
+        raise RuntimeError(f"simulation exceeded {_MAX_SLICE_EVENTS} events")
+
+    def sleep_until(self, when: float) -> None:
+        sim = self.sim
+        lane = self._lane
+        offset = lane.offset
+        for _ in range(_MAX_SLICE_EVENTS):
+            peek = sim.next_event_time()
+            if peek is None or peek > when:
+                break
+            lane.advance(offset + peek)
+            sim.step()
+        else:  # pragma: no cover - runaway universe
+            raise RuntimeError(f"simulation exceeded {_MAX_SLICE_EVENTS} events")
+        if when > sim.now:
+            lane.advance(offset + when)
+        sim.run(until=when)
+
+
+#: Virtual seconds a granted lane may run *past* the earliest other
+#: lane's position before parking.  Byte-identity never depends on the
+#: global interleaving (universes are private), so strict event-level
+#: lockstep buys nothing but handoffs — and with near-identical
+#: universes the lanes tie at every event boundary, degrading to one
+#: park per simulated event (~25 handoffs/site).  A fixed quantum keeps
+#: the schedule a pure function of (position, index) — still fully
+#: deterministic — while cutting handoffs roughly tenfold; the global
+#: clock skew it admits is bounded by the quantum itself.
+_HORIZON_QUANTUM = 0.5
+
+
+@dataclass
+class _Policy:
+    """Grant policy: which parked lane runs next, and for how long."""
+
+    #: None = deterministic min-(wake, index); a Random = fuzz mode.
+    rng: Random | None = None
+    quantum: float = _HORIZON_QUANTUM
+
+    def pick(self, active: list[_Lane]) -> _Lane:
+        if self.rng is not None:
+            return active[self.rng.randrange(len(active))]
+        return min(active, key=lambda lane: (lane.position, lane.index))
+
+    def set_horizon(self, lane: _Lane, active: list[_Lane]) -> None:
+        if self.rng is not None:
+            # Fuzz mode: one event step per grant — the next advance()
+            # always parks, maximising interleaving randomness.
+            lane.horizon_g = -_INFINITY
+            lane.horizon_index = -1
+            return
+        best_g, best_index = _INFINITY, -1
+        for other in active:
+            if other is lane:
+                continue
+            if other.position < best_g or (
+                other.position == best_g and other.index < best_index
+            ):
+                best_g, best_index = other.position, other.index
+        lane.horizon_g = best_g + self.quantum if best_g < _INFINITY else best_g
+        lane.horizon_index = best_index
+
+
+class InterleavedScheduler:
+    """Run site scans as cooperatively interleaved virtual-time lanes.
+
+    A generator factory: :meth:`run` yields one
+    :class:`~repro.scope.parallel.SiteResult` per task in (globally
+    deterministic) completion order.  Teardown is exception-safe: on
+    ``GeneratorExit`` / ``KeyboardInterrupt`` every lane is aborted and
+    joined, so ``run_campaign``'s SIGINT path flushes its journal with
+    no lane thread left running.
+    """
+
+    def __init__(
+        self,
+        sites,
+        tasks: Iterable,
+        options,
+        *,
+        concurrency: int,
+        policy_seed: int | None = None,
+        metrics: ConcurrencyMetrics | None = None,
+    ):
+        self.sites = sites
+        self.tasks = list(tasks)
+        self.options = options
+        self.concurrency = max(1, int(concurrency))
+        self.metrics = metrics if metrics is not None else ConcurrencyMetrics()
+        self.metrics.concurrency = self.concurrency
+        self._policy = _Policy(
+            rng=Random(policy_seed) if policy_seed is not None else None
+        )
+        self._baton = threading.Event()
+        self._next_index = 0
+
+    # -- lane side ---------------------------------------------------------
+
+    def _lane_scan(self, lane: _Lane) -> SiteReport:
+        """Scan one site with the serial path's exact semantics: any
+        exception becomes an error-bearing report, never a dead lane."""
+        from repro.scope.scanner import scan_site
+
+        site = self.sites[lane.task.site_index]
+        options = self.options
+        try:
+            return scan_site(
+                site,
+                include=options.include,
+                seed=options.seed + lane.task.site_index,
+                fault_plan=options.fault_plan,
+                resilience=options.resilience,
+                backend_factory=lambda network: InterleavedBackend(
+                    network, lane
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - one site, one report
+            report = SiteReport(domain=site.domain)
+            report.errors.append(make_scan_error("scan", exc))
+            return report
+
+    def _lane_main(self, lane: _Lane) -> None:
+        try:
+            lane.report = self._lane_scan(lane)
+        except SchedulerAbort:
+            pass
+        except BaseException as exc:  # pragma: no cover - driver bug
+            lane.failure = exc
+        finally:
+            lane.finished = True
+            self._baton.set()
+
+    # -- scheduler side ----------------------------------------------------
+
+    def _admit(self, task, global_now: float) -> _Lane:
+        lane = _Lane(self._next_index, task, global_now, self._baton)
+        self._next_index += 1
+        self.metrics.admitted += 1
+        return lane
+
+    def _grant(self, lane: _Lane) -> None:
+        if lane.thread is None:
+            lane.thread = threading.Thread(
+                target=self._lane_main,
+                args=(lane,),
+                name=f"h2scope-lane-{lane.index}",
+                daemon=True,
+            )
+            try:
+                previous = threading.stack_size(LANE_STACK_BYTES)
+            except (ValueError, RuntimeError):  # pragma: no cover - platform
+                previous = None
+            try:
+                lane.thread.start()
+            finally:
+                if previous is not None:
+                    threading.stack_size(previous)
+        else:
+            lane.resume.set()
+
+    def _abort(self, active: list[_Lane]) -> None:
+        lanes = [lane for lane in active if lane.thread is not None]
+        for lane in lanes:
+            lane.aborted = True
+        alive = [lane for lane in lanes if lane.thread.is_alive()]
+        deadline = time.monotonic() + 10.0
+        while alive and time.monotonic() < deadline:
+            for lane in alive:
+                # Repeated set() closes the clear()/set() race with a
+                # lane that is parking concurrently with the abort.
+                lane.resume.set()
+            for lane in alive:
+                lane.thread.join(timeout=0.05)
+            alive = [lane for lane in alive if lane.thread.is_alive()]
+
+    def run(self) -> Iterator:
+        from repro.scope.parallel import SiteResult
+
+        backlog = deque(self.tasks)
+        active: list[_Lane] = []
+        global_now = 0.0
+        metrics = self.metrics
+        try:
+            while backlog or active:
+                while backlog and len(active) < self.concurrency:
+                    active.append(self._admit(backlog.popleft(), global_now))
+                if len(active) > metrics.high_water:
+                    metrics.high_water = len(active)
+                lane = self._policy.pick(active)
+                global_now = max(global_now, lane.position)
+                self._policy.set_horizon(lane, active)
+                self._baton.clear()
+                self._grant(lane)
+                # Exactly one lane runs between grants, so the baton can
+                # only be set by ``lane`` parking or finishing.
+                self._baton.wait()
+                metrics.handoffs = (
+                    metrics.handoffs + 1
+                )  # one resume per grant
+                if lane.finished:
+                    active.remove(lane)
+                    global_now = max(global_now, lane.position)
+                    metrics.completed += 1
+                    if lane.position > metrics.virtual_makespan:
+                        metrics.virtual_makespan = lane.position
+                    lane.thread.join(timeout=10.0)
+                    if lane.failure is not None:
+                        raise lane.failure
+                    yield SiteResult(lane.task, lane.report)
+        finally:
+            self._abort(active)
+
+
+def scan_interleaved(
+    sites,
+    tasks: Iterable,
+    options,
+    *,
+    concurrency: int | None = None,
+    policy_seed: int | None = None,
+    metrics: ConcurrencyMetrics | None = None,
+) -> Iterator:
+    """Scan ``tasks`` with up to ``concurrency`` interleaved sessions.
+
+    Yields :class:`~repro.scope.parallel.SiteResult` in completion
+    order (deterministic for the default policy; seeded-random for the
+    fuzz battery's ``policy_seed``).  ``concurrency`` defaults to
+    ``options.concurrency``.  With one task or ``concurrency <= 1`` the
+    scheduler machinery is bypassed entirely — the plain serial loop is
+    both faster and the baseline the determinism battery diffs against.
+    """
+    from repro.scope.parallel import SiteResult, _scan_one
+
+    tasks = list(tasks)
+    if concurrency is None:
+        concurrency = getattr(options, "concurrency", 1)
+    concurrency = max(1, int(concurrency))
+    if (concurrency <= 1 or len(tasks) <= 1) and policy_seed is None:
+        if metrics is not None:
+            metrics.concurrency = concurrency
+            metrics.admitted = metrics.completed = len(tasks)
+            metrics.high_water = min(1, len(tasks))
+        makespan = 0.0
+        for task in tasks:
+            result = SiteResult(
+                task, _scan_one(sites[task.site_index], task, options)
+            )
+            makespan += result.report.scan_virtual_time
+            if metrics is not None:
+                metrics.virtual_makespan = makespan
+            yield result
+        return
+    scheduler = InterleavedScheduler(
+        sites,
+        tasks,
+        options,
+        concurrency=concurrency,
+        policy_seed=policy_seed,
+        metrics=metrics,
+    )
+    yield from scheduler.run()
+
+
+# ---------------------------------------------------------------------------
+# Shared asyncio loop driver (the socket backend's single event loop)
+# ---------------------------------------------------------------------------
+
+
+class LoopDriver:
+    """One asyncio event loop on one thread, shared by many backends.
+
+    The socket-backend sibling of the virtual-time scheduler: instead of
+    every live session owning a private polling loop (PR 6's thread
+    pool, which tops out around a few hundred sessions), all sockets
+    multiplex onto this single loop and each session's ``run_until``
+    blocks on an event the loop signals when *that* backend has
+    activity.  See :class:`repro.net.socket_backend.SocketBackend` for
+    the delivery contract (loop thread enqueues, session thread pumps).
+    """
+
+    def __init__(self) -> None:
+        import asyncio
+
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="h2scope-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        import asyncio
+
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    @property
+    def loop(self):
+        return self._loop
+
+    def close(self) -> None:
+        """Stop and release the loop (idempotent)."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        except RuntimeError:  # pragma: no cover - already stopping
+            pass
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "LoopDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

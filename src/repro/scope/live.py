@@ -8,12 +8,16 @@ real connection synchronously; this module is the campaign layer that
 makes it survive (and be survivable by) a population:
 
 * a **bounded pool**: ``concurrency`` worker threads, each driving one
-  in-flight :class:`~repro.scope.session.ProbeSession` over its own
-  private asyncio loop.  Probes are synchronous sans-IO drivers whose
-  wall-clock time is dominated by network waits, so thread-per-session
-  concurrency scales to hundreds of in-flight sessions while reusing
-  the exact probe code the simulator runs (the determinism contract
-  stays untouched);
+  in-flight :class:`~repro.scope.session.ProbeSession`.  By default
+  (``shared_loop=True``) every session's sockets multiplex onto ONE
+  asyncio loop hosted by a
+  :class:`~repro.scope.concurrent.LoopDriver`, and each session blocks
+  on its backend's wakeup event between deliveries — the single-loop
+  design that scales to ~1k in-flight sessions, where N private
+  polling loops topped out around a few hundred.  Probes are
+  synchronous sans-IO drivers whose wall-clock time is dominated by
+  network waits, so the exact probe code the simulator runs is reused
+  unchanged (the determinism contract stays untouched);
 * a **politeness layer**: per-host serialization with a minimum
   inter-contact gap (:class:`HostPoliteness`) plus a global
   token-bucket contact-rate limiter (:class:`TokenBucket`), installed
@@ -424,6 +428,10 @@ class LiveConfig:
     dns_workers: int = 16
     timeout_scale: float = 1.0
     connect_timeout: float = 10.0
+    #: Multiplex every session's sockets onto one shared asyncio loop
+    #: (:class:`~repro.scope.concurrent.LoopDriver`).  False falls back
+    #: to a private polling loop per session (the PR 6 behaviour).
+    shared_loop: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -486,6 +494,8 @@ class LiveCampaignRunner:
         self._pending: deque[_LiveTask] = deque()
         self._busy_hosts: set[str] = set()
         self._completions: queue.Queue = queue.Queue()
+        #: Shared asyncio loop host, created for the duration of run().
+        self.loop_driver = None
 
     # -- politeness gate (installed on every backend) ----------------------
 
@@ -522,6 +532,7 @@ class LiveCampaignRunner:
             timeout_scale=self.config.timeout_scale,
             connect_timeout=self.config.connect_timeout,
             gate=self._gate,
+            driver=self.loop_driver,
         )
         started = time.monotonic()
         try:
@@ -673,6 +684,10 @@ class LiveCampaignRunner:
         emit()
 
         # -- the pool ------------------------------------------------------
+        if self.config.shared_loop and scan_tasks:
+            from repro.scope.concurrent import LoopDriver
+
+            self.loop_driver = LoopDriver()
         self._pending.extend(scan_tasks)
         pool_size = min(self.config.concurrency, len(scan_tasks))
         workers = [
@@ -716,6 +731,9 @@ class LiveCampaignRunner:
                 # In-flight sessions are deadline-bounded; join so no
                 # daemon thread outlives the campaign.
                 worker.join(timeout=60)
+            if self.loop_driver is not None:
+                self.loop_driver.close()
+                self.loop_driver = None
 
         journal.checkpoint(self.campaign, batch)
         return CampaignResult(

@@ -35,20 +35,26 @@ Architecture (one campaign, ``workers`` > 1)::
   serial run's.  An interrupt flushes the in-order prefix; anything
   still in flight is simply rescanned on resume into byte-identical
   reports.
-* **Exact crash accounting.**  Tasks are dispatched one at a time to a
-  specific worker, so when a worker dies the parent knows precisely
-  which site it held: the worker is respawned and the site retried,
-  up to ``max_worker_crashes`` times, after which the site gets a
-  synthetic ``WorkerCrashed`` error report and flows into the normal
-  failed/quarantined bookkeeping.
+* **Exact crash accounting.**  Tasks are dispatched in batches of up to
+  ``concurrency`` to a specific worker (which interleaves them on its
+  in-process scheduler, :mod:`repro.scope.concurrent`), and completions
+  stream back one at a time, so when a worker dies the parent knows
+  precisely which sites were still in flight.  A lost one-task batch
+  charges that site's crash budget directly; a lost multi-task batch is
+  requeued uncharged as one-task "suspect" batches so the killer site
+  crashes a worker alone, gets charged exactly, and — after
+  ``max_worker_crashes`` — a synthetic ``WorkerCrashed`` error report,
+  while its innocent batch-mates rescan cleanly.
 * **SIGINT discipline.**  Workers ignore SIGINT; a Ctrl-C lands on the
   parent, which unwinds through the generator, terminates the workers
   and lets ``run_campaign`` flush the journal and raise
   :class:`~repro.scope.campaign.CampaignInterrupted` as usual.
 
 ``workers <= 1`` (or a single task) runs everything in-process with no
-multiprocessing machinery at all, which is both the fast path for small
-populations and the serial baseline the determinism tests diff against.
+multiprocessing machinery at all — through the in-process interleaving
+scheduler when ``concurrency > 1``, else the plain serial loop that is
+both the fast path for small populations and the serial baseline the
+determinism tests diff against.
 """
 
 from __future__ import annotations
@@ -131,6 +137,9 @@ class ScanOptions:
     seed: int
     fault_plan: FaultPlan | None = None
     resilience: ResilienceConfig | None = None
+    #: In-flight sessions per process (:mod:`repro.scope.concurrent`);
+    #: 1 = plain serial loop.  Results are byte-identical either way.
+    concurrency: int = 1
 
 
 def _scan_one(site: Site, task: SiteTask, options: ScanOptions) -> SiteReport:
@@ -194,28 +203,43 @@ def _worker_main(
                 os._exit(1)
             continue
         try:
-            task = task_conn.recv()
+            batch = task_conn.recv()
         except (EOFError, OSError):  # parent closed the channel
             os._exit(1)
-        if task is None:
+        if batch is None:
             return
-        report = _scan_one(sites[task.site_index], task, options)
         try:
-            result_conn.send((task, report))
+            if len(batch) <= 1 or options.concurrency <= 1:
+                for task in batch:
+                    report = _scan_one(sites[task.site_index], task, options)
+                    result_conn.send((task, report))
+            else:
+                from repro.scope.concurrent import scan_interleaved
+
+                # Stream completions as the scheduler produces them so
+                # the parent's reorder buffer (and a kill point) sees
+                # the same granularity as the serial protocol.
+                for result in scan_interleaved(sites, batch, options):
+                    result_conn.send((result.task, result.report))
         except (BrokenPipeError, OSError):  # parent gone mid-send
             os._exit(1)
 
 
 class _Worker:
-    """Parent-side handle: process, both pipe ends, current task."""
+    """Parent-side handle: process, both pipe ends, in-flight tasks.
 
-    __slots__ = ("proc", "task_conn", "result_conn", "task")
+    ``tasks`` maps position -> :class:`SiteTask` for the batch currently
+    dispatched to the worker; completions are popped as they stream
+    back, so on a crash the remainder is exactly what was lost.
+    """
 
-    def __init__(self, proc, task_conn, result_conn, task=None):
+    __slots__ = ("proc", "task_conn", "result_conn", "tasks")
+
+    def __init__(self, proc, task_conn, result_conn):
         self.proc = proc
         self.task_conn = task_conn
         self.result_conn = result_conn
-        self.task = task
+        self.tasks: dict[int, SiteTask] = {}
 
 
 def _mp_context():
@@ -249,6 +273,7 @@ class ParallelCampaignRunner:
         resilience: ResilienceConfig | None = None,
         max_worker_crashes: int = 3,
         poll_interval: float = 0.2,
+        concurrency: int = 1,
     ):
         self.sites = sites
         self.workers = effective_workers(workers)
@@ -257,6 +282,7 @@ class ParallelCampaignRunner:
             seed=seed,
             fault_plan=fault_plan,
             resilience=resilience,
+            concurrency=max(1, int(concurrency)),
         )
         self.max_worker_crashes = max(1, int(max_worker_crashes))
         self.poll_interval = poll_interval
@@ -267,6 +293,11 @@ class ParallelCampaignRunner:
         """Yield one :class:`SiteResult` per task, in completion order."""
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1:
+            if self.options.concurrency > 1 and len(tasks) > 1:
+                from repro.scope.concurrent import scan_interleaved
+
+                yield from scan_interleaved(self.sites, tasks, self.options)
+                return
             for task in tasks:
                 yield SiteResult(
                     task, _scan_one(self.sites[task.site_index], task, self.options)
@@ -279,7 +310,8 @@ class ParallelCampaignRunner:
 
         Positions must be the contiguous sequence ``0..len(tasks)-1``
         (they index the todo list).  Memory is bounded by the spread of
-        in-flight completions, at most ``workers`` results.
+        in-flight completions, at most ``workers x concurrency``
+        results.
         """
         tasks = list(tasks)
         buffered: dict[int, SiteResult] = {}
@@ -299,12 +331,17 @@ class ParallelCampaignRunner:
     def _iter_multiprocess(self, tasks: list[SiteTask]) -> Iterator[SiteResult]:
         ctx = _mp_context()
         backlog: deque[SiteTask] = deque(tasks)
+        # Tasks lost in a multi-task batch crash: the culprit is unknown,
+        # so they are requeued *uncharged* as one-task batches — the
+        # killer site then crashes a worker alone and gets charged
+        # exactly, while innocent batch-mates scan cleanly.
+        suspects: deque[SiteTask] = deque()
         crashes: dict[int, int] = {}
         workers: dict[int, _Worker] = {}
         try:
             for worker_id in range(min(self.workers, len(tasks))):
                 workers[worker_id] = self._spawn(ctx, worker_id)
-                self._dispatch(workers[worker_id], backlog)
+                self._dispatch(workers[worker_id], backlog, suspects)
             done = 0
             while done < len(tasks):
                 by_conn = {
@@ -314,7 +351,9 @@ class ParallelCampaignRunner:
                     list(by_conn), timeout=self.poll_interval
                 )
                 if not readable:
-                    for result in self._reap(ctx, workers, backlog, crashes):
+                    for result in self._reap(
+                        ctx, workers, backlog, suspects, crashes
+                    ):
                         done += 1
                         yield result
                     continue
@@ -324,12 +363,14 @@ class ParallelCampaignRunner:
                 except (EOFError, OSError):
                     # EOF: the worker died.  Its pipe stays readable, so
                     # reap it *now* rather than waiting for a quiet poll.
-                    for result in self._reap(ctx, workers, backlog, crashes):
+                    for result in self._reap(
+                        ctx, workers, backlog, suspects, crashes
+                    ):
                         done += 1
                         yield result
                     continue
-                worker.task = None
-                self._dispatch(worker, backlog)
+                worker.tasks.pop(task.position, None)
+                self._dispatch(worker, backlog, suspects)
                 done += 1
                 yield SiteResult(task, report, crashes.get(task.position, 0))
         finally:
@@ -353,65 +394,92 @@ class ParallelCampaignRunner:
         result_w.close()
         return _Worker(proc, task_w, result_r)
 
-    def _dispatch(self, worker: _Worker, backlog: deque[SiteTask]) -> None:
-        if worker.task is None and backlog:
-            worker.task = backlog.popleft()
-            try:
-                worker.task_conn.send(worker.task)
-            except (BrokenPipeError, OSError):
-                pass  # worker already dead: _reap sees task and requeues
+    def _dispatch(
+        self,
+        worker: _Worker,
+        backlog: deque[SiteTask],
+        suspects: deque[SiteTask],
+    ) -> None:
+        """Send the worker its next batch once its current one is done.
 
-    def _reap(self, ctx, workers, backlog, crashes) -> list[SiteResult]:
+        Suspects go first and strictly one at a time (crash
+        attribution); otherwise the batch is up to ``concurrency``
+        tasks, which is what the worker's in-process scheduler can
+        keep in flight at once.
+        """
+        if worker.tasks:
+            return
+        if suspects:
+            batch = [suspects.popleft()]
+        elif backlog:
+            width = max(1, self.options.concurrency)
+            batch = [backlog.popleft() for _ in range(min(width, len(backlog)))]
+        else:
+            return
+        worker.tasks = {task.position: task for task in batch}
+        try:
+            worker.task_conn.send(batch)
+        except (BrokenPipeError, OSError):
+            pass  # worker already dead: _reap sees tasks and requeues
+
+    def _reap(
+        self, ctx, workers, backlog, suspects, crashes
+    ) -> list[SiteResult]:
         """Respawn dead workers; emit reports for crash-budget-spent sites.
 
         A worker that dies mid-site triggers a retry of exactly that
         site (its universe is deterministic, so the eventual report is
         unchanged); a site that keeps killing workers is charged to the
         crash budget and surfaced as a ``WorkerCrashed`` failure instead
-        of wedging the campaign.  A result the worker fully sent before
-        dying is salvaged from its pipe first, so a completion is never
-        double-counted as a crash.
+        of wedging the campaign.  Results the worker fully sent before
+        dying are salvaged from its pipe first, so a completion is never
+        double-counted as a crash.  Losing a one-task batch charges that
+        site; losing a multi-task batch cannot name the culprit, so the
+        remainder is requeued uncharged as one-task suspect batches and
+        the killer gets charged on its solo retry.
         """
         results: list[SiteResult] = []
         for worker_id, worker in list(workers.items()):
             if worker.proc.is_alive():
                 continue
-            salvaged = None
             try:
-                if worker.result_conn.poll(0):
-                    salvaged = worker.result_conn.recv()
+                while worker.result_conn.poll(0):
+                    task, report = worker.result_conn.recv()
+                    worker.tasks.pop(task.position, None)
+                    results.append(
+                        SiteResult(task, report, crashes.get(task.position, 0))
+                    )
             except (EOFError, OSError):
                 pass  # partial message: the send died with the worker
             worker.result_conn.close()
             worker.task_conn.close()
             worker.proc.join()
-            lost = worker.task
+            lost = list(worker.tasks.values())
+            worker.tasks = {}
             workers[worker_id] = replacement = self._spawn(ctx, worker_id)
-            if salvaged is not None:
-                task, report = salvaged
-                results.append(
-                    SiteResult(task, report, crashes.get(task.position, 0))
-                )
-                lost = None
-            if lost is None:
-                self._dispatch(replacement, backlog)
-                continue
-            crashes[lost.position] = crashes.get(lost.position, 0) + 1
-            if crashes[lost.position] >= self.max_worker_crashes:
-                results.append(
-                    SiteResult(
-                        lost,
-                        _crash_report(lost, crashes[lost.position]),
-                        crashes[lost.position],
+            if len(lost) == 1:
+                task = lost[0]
+                crashes[task.position] = crashes.get(task.position, 0) + 1
+                if crashes[task.position] >= self.max_worker_crashes:
+                    results.append(
+                        SiteResult(
+                            task,
+                            _crash_report(task, crashes[task.position]),
+                            crashes[task.position],
+                        )
                     )
+                else:
+                    replacement.tasks = {task.position: task}
+                    try:
+                        replacement.task_conn.send([task])
+                    except (BrokenPipeError, OSError):
+                        pass  # died instantly: next _reap charges it again
+                    continue
+            elif lost:
+                suspects.extend(
+                    sorted(lost, key=lambda task: task.position)
                 )
-                self._dispatch(replacement, backlog)
-            else:
-                replacement.task = lost
-                try:
-                    replacement.task_conn.send(lost)
-                except (BrokenPipeError, OSError):
-                    pass  # died instantly: next _reap charges it again
+            self._dispatch(replacement, backlog, suspects)
         return results
 
     def _shutdown(self, workers) -> None:

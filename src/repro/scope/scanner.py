@@ -289,6 +289,7 @@ def scan_site(
     priority_depletion_paths: list[str] | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    backend_factory: Callable[[Network], object] | None = None,
 ) -> SiteReport:
     """Probe one site inside a fresh simulation universe.
 
@@ -296,12 +297,23 @@ def scan_site(
     universe; ``resilience`` runs every probe under a virtual-time
     deadline and retries transient failures with exponential backoff.
     Without ``resilience`` the legacy single-shot semantics apply.
+
+    ``backend_factory`` lets a scheduler substitute the universe's
+    :class:`~repro.net.backend.SimulatedBackend` with its own wrapper
+    (the interleaved backend from :mod:`repro.scope.concurrent`); the
+    substitute must be observationally identical for this universe, so
+    the report stays a pure function of ``(site, include, seed,
+    fault_plan, resilience)``.
     """
     _validate_include(include)
 
     report = SiteReport(domain=site.domain)
     sim = Simulation()
     network = Network(sim, seed=seed, fault_plan=fault_plan)
+    if backend_factory is not None:
+        # Pre-seed as_backend's per-network cache so every probe in
+        # this universe waits through the substitute backend.
+        network._backend_cache = backend_factory(network)
     try:
         deploy_site(network, site)
     except Exception as exc:  # noqa: BLE001 - a poisoned site must not
@@ -333,12 +345,16 @@ def scan_population(
     progress: Callable[[ScanProgress], None] | None = None,
     fault_plan: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    concurrency: int = 1,
 ) -> list[SiteReport]:
-    """Scan every site; ``workers`` > 1 shards across processes.
+    """Scan every site; ``workers`` > 1 shards across processes and
+    ``concurrency`` > 1 keeps that many sessions in flight per process
+    (:mod:`repro.scope.concurrent`), composing multiplicatively.
 
     Sites are independent simulations seeded by ``(seed + index)``, so
-    neither ordering nor sharding can affect results: reports come back
-    in input order and are byte-identical for any worker count.
+    neither ordering, sharding nor interleaving can affect results:
+    reports come back in input order and are byte-identical for any
+    worker count and any concurrency level.
     Per-site isolation is total: any exception a site's setup or scan
     raises becomes an error-bearing :class:`SiteReport` instead of
     aborting the scan.  ``progress`` receives one order-independent
@@ -356,6 +372,7 @@ def scan_population(
         seed=seed,
         fault_plan=fault_plan,
         resilience=resilience,
+        concurrency=concurrency,
     )
     tasks = [
         SiteTask(position=index, site_index=index, domain=site.domain)
@@ -383,6 +400,7 @@ def run_campaign(
     checkpoint_every: int = 25,
     max_site_attempts: int = 3,
     workers: int = 1,
+    concurrency: int = 1,
     progress: Callable[[ScanProgress], None] | None = None,
 ) -> CampaignResult:
     """Journaled, crash-safe population scan.
@@ -396,11 +414,14 @@ def run_campaign(
     the merged reports byte-identical to an uninterrupted run.
 
     ``workers`` > 1 shards the pending sites across that many scan
-    processes (:mod:`repro.scope.parallel`); this process stays the
-    sole SQLite writer and journals completions in todo order, so the
-    stored bytes are identical for any worker count, kill point and
-    fault plan — and ``workers`` is deliberately *not* part of the
-    manifest, so a campaign may be resumed with a different count.
+    processes (:mod:`repro.scope.parallel`) and ``concurrency`` > 1
+    keeps that many sessions in flight inside each process
+    (:mod:`repro.scope.concurrent`), for ``workers x concurrency``
+    total in-flight sessions; this process stays the sole SQLite
+    writer and journals completions in todo order, so the stored bytes
+    are identical for any worker count, concurrency level, kill point
+    and fault plan — and neither knob is part of the manifest, so a
+    campaign may be resumed with different values.
 
     Failed sites are retried across resumes until ``max_site_attempts``
     is exhausted, then quarantined (the circuit breaker): their last
@@ -454,6 +475,7 @@ def run_campaign(
         fault_plan=fault_plan,
         resilience=resilience,
         max_worker_crashes=max_site_attempts,
+        concurrency=concurrency,
     )
     tasks = [
         SiteTask(

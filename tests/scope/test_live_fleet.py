@@ -246,6 +246,129 @@ class TestVerdictDifferential:
             assert verdict_view(live) == verdict_view(simulated), site.domain
 
 
+class TestHighConcurrencyPool:
+    """ISSUE 8: the pool on ONE shared asyncio loop at ``--concurrency``
+    >= 256.  Wider than the population means every site is admitted at
+    once — the stress case for the single-loop socket backend — and the
+    politeness, high-water and verdict invariants must still hold."""
+
+    HIGHC = max(256, int(os.environ.get("H2SCOPE_FLEET_CONCURRENCY", "0")))
+    #: With every site in flight at once, all probes race for rate
+    #: tokens simultaneously; the bucket must be sized for the pool or
+    #: tail sites burn their probe budget queued at the politeness
+    #: gate (the module campaign's 40/s starves healthy sites here).
+    RATE = 400.0
+    BURST = 64.0
+    #: Trimmed probe set and a wider wall budget: with the whole
+    #: population's session threads sharing one small CPU, the full
+    #: probe battery starves tail waits of cycles (not of tokens) and
+    #: healthy sites hit DeadlineExceeded spuriously.
+    INCLUDE = {"negotiation", "settings", "ping", "hpack"}
+    SCALE = 0.3
+
+    @pytest.fixture(scope="class")
+    def highc_campaign(self, tmp_path_factory):
+        n_sites = int(
+            os.environ.get("H2SCOPE_FLEET_HIGHC_SITES", "96" if SOAK else "32")
+        )
+        plan = FleetPlan(
+            sites=n_sites, seed=29, refuse=1, stall=1, unresolvable=1
+        )
+        db = tmp_path_factory.mktemp("highc") / "campaign.db"
+        metrics = LiveScanMetrics()
+        with LoopbackFleet(plan) as fleet:
+            with ReportStore(db) as store:
+                run_live_campaign(
+                    fleet.domains,
+                    store,
+                    "highc",
+                    seed=plan.seed,
+                    include=self.INCLUDE,
+                    resilience=RESILIENCE,
+                    config=LiveConfig(
+                        concurrency=self.HIGHC,
+                        per_host_gap=PER_HOST_GAP,
+                        rate=self.RATE,
+                        burst=self.BURST,
+                        timeout_scale=self.SCALE,
+                        connect_timeout=1.0,
+                    ),
+                    resolver=fleet.resolver(),
+                    metrics=metrics,
+                )
+                journal = CampaignJournal(store)
+                yield {
+                    "plan": plan,
+                    "fleet": fleet,
+                    "store": store,
+                    "metrics": metrics,
+                    "statuses": journal.statuses("highc"),
+                }
+
+    def test_pool_invariants_at_256_plus(self, highc_campaign):
+        metrics = highc_campaign["metrics"]
+        assert metrics.concurrency_high_water <= self.HIGHC
+        # Wider pool than population: nothing ever queued behind the
+        # pool, so overlap should reach well past a serial trickle.
+        assert metrics.concurrency_high_water > 1
+        assert metrics.in_flight == 0  # drained completely
+        assert len(metrics.rate_grants) == len(metrics.contacts)
+        smallest = metrics.min_host_gap()
+        if smallest is not None:
+            assert smallest >= PER_HOST_GAP - 1e-3
+        assert metrics.max_rate(window=1.0) <= self.BURST + self.RATE + 1
+
+    def test_every_site_reached_a_terminal_state(self, highc_campaign):
+        statuses = highc_campaign["statuses"]
+        assert len(statuses) == highc_campaign["plan"].sites
+        assert all(
+            status is not SiteStatus.PENDING
+            for status, _ in statuses.values()
+        )
+
+    def test_healthy_verdicts_match_simulation(self, highc_campaign):
+        fleet = highc_campaign["fleet"]
+        store = highc_campaign["store"]
+        plan = highc_campaign["plan"]
+        healthy = fleet.healthy_sites()
+        assert healthy
+        for site in healthy:
+            live = store.load("highc", site.domain)
+            simulated = scan_site(site, seed=plan.seed, include=self.INCLUDE)
+            assert verdict_view(live) == verdict_view(simulated), site.domain
+
+    def test_private_loop_fallback_still_agrees(self, tmp_path):
+        """shared_loop=False keeps the PR 6 per-session private loops;
+        both modes must produce the same verdicts for the same fleet."""
+        plan = FleetPlan(sites=6, seed=31)
+        verdicts = {}
+        for mode in (True, False):
+            metrics = LiveScanMetrics()
+            with LoopbackFleet(plan) as fleet:
+                with ReportStore(tmp_path / f"loop{mode}.db") as store:
+                    run_live_campaign(
+                        fleet.domains,
+                        store,
+                        "loop",
+                        seed=plan.seed,
+                        resilience=RESILIENCE,
+                        config=LiveConfig(
+                            concurrency=4,
+                            timeout_scale=TIMEOUT_SCALE,
+                            connect_timeout=1.0,
+                            shared_loop=mode,
+                        ),
+                        resolver=fleet.resolver(),
+                        metrics=metrics,
+                    )
+                    verdicts[mode] = {
+                        site.domain: verdict_view(store.load("loop", site.domain))
+                        for site in fleet.healthy_sites()
+                    }
+            assert metrics.in_flight == 0
+        assert verdicts[True] == verdicts[False]
+
+
 #: Rebuilds the kill-fleet deterministically in a child process, scans
 #: it, and SIGKILLs itself once the journal has absorbed ``cut`` sites.
 KILL_SCRIPT = """

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Enforce the single-loop concurrency speedup floor (ISSUE 8).
+
+CI runs the parallel-scan benchmark (which regenerates
+``benchmarks/results/BENCH_parallel_scan.json``) and then calls::
+
+    python tools/concurrency_check.py benchmarks/results/BENCH_parallel_scan.json
+
+The check fails (exit 1) when the *modeled* campaign throughput —
+sites per virtual second of makespan — at ``--concurrency`` (default
+64) is less than ``--floor`` (default 5.0) times the serial row's.
+
+Modeled, not wall: simulated scans burn CPU rather than wall time, so
+on one core the wall column can only show scheduler overhead.  Virtual
+makespan is the quantity interleaving exists to shrink — on a live
+network, virtual waiting is real waiting — and it is deterministic, so
+this floor is immune to runner noise.  The wall columns stay in the
+JSON as the honest record of the overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path)
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="sweep level the floor applies to (default 64)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=5.0,
+        help="min modeled speedup vs the serial row (default 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.results.read_text())
+    rows = {
+        row["concurrency"]: row for row in data.get("concurrency_results", [])
+    }
+    serial = rows.get(1)
+    gated = rows.get(args.concurrency)
+    if serial is None or gated is None:
+        print(
+            f"FAIL: {args.results} has no concurrency sweep rows for "
+            f"1 and {args.concurrency} (rerun bench_parallel_scan)"
+        )
+        return 1
+
+    speedup = (
+        gated["modeled_sites_per_sec"] / serial["modeled_sites_per_sec"]
+    )
+    print(
+        f"{'concurrency':>12} {'virtual_makespan':>17} "
+        f"{'modeled_sites_per_sec':>22} {'wall_sites_per_sec':>19}"
+    )
+    for level in sorted(rows):
+        row = rows[level]
+        print(
+            f"{level:>12} {row['virtual_makespan']:>17} "
+            f"{row['modeled_sites_per_sec']:>22} {row['sites_per_sec']:>19}"
+        )
+    verdict = "ok" if speedup >= args.floor else "REGRESSION"
+    print(
+        f"\nmodeled speedup at concurrency={args.concurrency}: "
+        f"{speedup:.2f}x (floor {args.floor:.1f}x) ... {verdict}"
+    )
+    if verdict != "ok":
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
