@@ -1,5 +1,5 @@
 """Sharded-scan throughput: workers ∈ {1, 2, 4, 8} and, since ISSUE 8,
-single-loop concurrency ∈ {1, 8, 64, 256, 1024}.
+single-loop concurrency — now swept to 16384 lanes (ISSUE 9).
 
 Emits ``benchmarks/results/BENCH_parallel_scan.json`` so the perf
 trajectory of the parallel runner is recorded run over run.  The
@@ -19,14 +19,30 @@ The concurrency sweep records two throughputs per level:
   waiting is real waiting — and the one ``tools/concurrency_check.py``
   gates (>= 5x serial at concurrency 64).
 
+The ISSUE 9 wide sweep (``wide_results``) scales the *population* with
+the width — ``width + width/8`` negotiation-only sites, so the
+admission window is actually full at width 4096 — and runs every point
+in its own subprocess so ``ru_maxrss`` is a per-point peak rather than
+a process-lifetime monotone.  Each row records wall + modeled
+throughput and peak RSS; width 4096 is measured both with the lane
+pool (default) and in thread-per-lane mode (``H2SCOPE_LANE_POOL=0``),
+and ``scan_rss_delta_kb`` (peak minus pre-scan RSS) pins the memory
+win ``tools/concurrency_check.py`` gates (>= 4x).  Width 16384 rides
+behind ``H2SCOPE_BENCH_WIDE=1`` (weekly CI): its serial leg alone is
+~25s, and its thread-per-lane leg would need 16k OS threads, so only
+the pooled row is recorded there.
+
 The benchmark also re-checks the determinism contract on the way: all
-worker counts and all concurrency levels must produce byte-identical
-reports.
+worker counts, all concurrency levels, and every wide-sweep subprocess
+(pooled, unpooled, serial) must produce byte-identical reports.
 """
 
 import json
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from benchmarks.conftest import BENCH_SEED, RESULTS_DIR
 from repro.net.faults import FaultPlan
@@ -38,14 +54,133 @@ from repro.scope.scanner import scan_population
 from repro.scope.storage import _encode
 
 WORKER_COUNTS = [1, 2, 4, 8]
-CONCURRENCY_LEVELS = [1, 8, 64, 256, 1024]
+CONCURRENCY_LEVELS = [1, 8, 64, 256, 1024, 4096, 16384]
 N_SITES = int(os.environ.get("REPRO_BENCH_PARALLEL_SITES", "300"))
 CHAOS_SPEC = "refuse:0.1x6,reset:0.06x4,stall(30):0.05,truncate(400):0.05"
+
+#: Wide-sweep widths; 16384 only when H2SCOPE_BENCH_WIDE=1 (weekly).
+WIDE_WIDTHS = [1024, 4096]
+#: Widths whose thread-per-lane leg is also measured for the RSS pin.
+WIDE_RSS_WIDTHS = [4096]
+
+#: Subprocess probe for one wide-sweep point: scans ``width + width/8``
+#: negotiation-only sites at ``width``, reporting timings, scheduler
+#: metrics, peak RSS, and a digest of the position-ordered reports so
+#: the parent can assert byte-identity across pool modes and serial.
+_WIDE_PROBE = r"""
+import hashlib, json, resource, sys, time
+from repro.population import PopulationConfig, make_population
+from repro.scope.concurrent import ConcurrencyMetrics, scan_interleaved
+from repro.scope.parallel import ScanOptions, SiteTask
+from repro.scope.storage import _encode
+
+width, n_sites, seed = (int(arg) for arg in sys.argv[1:])
+sites = make_population(PopulationConfig(n_sites=n_sites, seed=seed))
+options = ScanOptions(include=("negotiation",), seed=seed)
+tasks = [
+    SiteTask(position=index, site_index=index, domain=site.domain)
+    for index, site in enumerate(sites)
+]
+with open("/proc/self/status") as fh:
+    pre = next(
+        int(line.split()[1]) for line in fh if line.startswith("VmRSS:")
+    )
+metrics = ConcurrencyMetrics()
+serialized = {}
+start = time.perf_counter()
+for result in scan_interleaved(
+    sites, tasks, options, concurrency=width, metrics=metrics
+):
+    serialized[result.task.position] = json.dumps(
+        _encode(result.report), sort_keys=True
+    )
+elapsed = time.perf_counter() - start
+digest = hashlib.sha256()
+for position in sorted(serialized):
+    digest.update(serialized[position].encode())
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "n_sites": len(sites),
+    "seconds": round(elapsed, 4),
+    "virtual_makespan": round(metrics.virtual_makespan, 4),
+    "high_water": metrics.high_water,
+    "resident_high_water": metrics.resident_high_water,
+    "threads_spawned": metrics.threads_spawned,
+    "handoffs": metrics.handoffs,
+    "peak_rss_kb": peak,
+    "pre_scan_rss_kb": pre,
+    "scan_rss_delta_kb": peak - pre,
+    "digest": digest.hexdigest(),
+}))
+"""
 
 # This benchmark deliberately oversubscribes (the workers>1 rows on a
 # small runner measure pure multiprocessing overhead); disable the
 # effective_workers cap so it keeps measuring what it says it does.
 os.environ["H2SCOPE_OVERSUBSCRIBE"] = "1"
+
+
+def _run_wide_point(width: int, n_sites: int, pool: str) -> dict:
+    """One wide-sweep point in a fresh subprocess (its own ru_maxrss)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    pythonpath = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + pythonpath if pythonpath else "")
+    if pool == "off":
+        env["H2SCOPE_LANE_POOL"] = "0"
+    else:
+        env.pop("H2SCOPE_LANE_POOL", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _WIDE_PROBE,
+         str(width), str(n_sites), str(BENCH_SEED)],
+        env=env, capture_output=True, text=True, timeout=1800,
+    )
+    assert proc.returncode == 0, (
+        f"wide probe width={width} pool={pool} failed:\n{proc.stderr[-2000:]}"
+    )
+    row = json.loads(proc.stdout.strip().splitlines()[-1])
+    row.update(
+        concurrency=width,
+        population=n_sites,
+        pool=pool,
+        sites_per_sec=round(row["n_sites"] / row["seconds"], 2),
+        modeled_sites_per_sec=round(
+            row["n_sites"] / row["virtual_makespan"], 2
+        ),
+    )
+    return row
+
+
+def _wide_sweep() -> list[dict]:
+    """Width-scaled populations, one subprocess per point.
+
+    The default set proves the acceptance pins on a ~5k-site
+    negotiation population: modeled throughput at 4096 >= at 1024, and
+    the lane pool's scan RSS delta >= 4x smaller than thread-per-lane.
+    ``H2SCOPE_BENCH_WIDE=1`` adds the 16384-lane population (~21k
+    sites); its thread-per-lane leg is deliberately not run — 16k OS
+    threads is the configuration this PR exists to avoid.
+    """
+    max_width = max(WIDE_WIDTHS)
+    rows = []
+    plans: list[tuple[int, int, str]] = [(1, max_width, "on")]
+    plans += [(width, max_width, "on") for width in WIDE_WIDTHS]
+    plans += [(width, max_width, "off") for width in WIDE_RSS_WIDTHS]
+    if os.environ.get("H2SCOPE_BENCH_WIDE") == "1":
+        plans += [(1, 16384, "on"), (16384, 16384, "on")]
+    for width, population, pool in plans:
+        n_sites = population + population // 8
+        rows.append(_run_wide_point(width, n_sites, pool))
+    by_population: dict[int, list[dict]] = {}
+    for row in rows:
+        by_population.setdefault(row["population"], []).append(row)
+    for population, group in by_population.items():
+        digests = {row["digest"] for row in group}
+        assert len(digests) == 1, (
+            f"wide sweep population {population} broke byte-identity "
+            f"across pool modes/widths"
+        )
+    return rows
 
 
 def bench_parallel_scan(benchmark):
@@ -140,6 +275,9 @@ def bench_parallel_scan(benchmark):
         "scan_interleaved serial leg diverged from scan_population"
     )
 
+    # -- wide sweep: width-scaled populations, per-point RSS (ISSUE 9) --
+    wide_rows = _wide_sweep()
+
     # benchmark the serial leg so pytest-benchmark has a stable anchor.
     benchmark.pedantic(scan_at, args=(1,), rounds=1, iterations=1)
 
@@ -151,6 +289,7 @@ def bench_parallel_scan(benchmark):
         "concurrency_results": [
             conc_rows[concurrency] for concurrency in CONCURRENCY_LEVELS
         ],
+        "wide_results": wide_rows,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_parallel_scan.json"

@@ -188,6 +188,25 @@ class Simulation:
         """
         return self._peek_time()
 
+    def fire_head(self) -> None:
+        """Pop and run the head event a preceding peek proved live.
+
+        Companion to :meth:`next_event_time` for drivers that peek
+        every event anyway (the interleaved scheduler inspects each
+        event's timestamp to decide whether to yield first): the peek
+        already skimmed cancelled entries off the top, so this pops the
+        exact head without re-scanning — one heap access per event
+        where peek-then-:meth:`step` pays two.  Only safe immediately
+        after a peek that returned a time, with no scheduling in
+        between; an empty queue means the contract was broken.
+        """
+        when, _, timer = heapq.heappop(self._queue)
+        timer._sim = None
+        self._live -= 1
+        self.now = when
+        timer.callback(*timer.args)
+        self._processed += 1
+
     def _peek_time(self) -> float | None:
         queue = self._queue
         while queue:

@@ -1014,11 +1014,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         metavar="N",
-        help="max in-flight probe sessions per process (default 8): the "
-        "live pool size on the socket backend, the single-loop "
-        "interleaving width per worker on the simulated backend; "
-        "composes multiplicatively with --workers and never changes "
-        "simulated-scan bytes",
+        help="max in-flight probe sessions per process (default 8, "
+        "ceiling 16384): the live pool size on the socket backend, the "
+        "single-loop interleaving width per worker on the simulated "
+        "backend (at most H2SCOPE_LANE_POOL lanes, default 64, are "
+        "mid-scan at once); composes multiplicatively with --workers "
+        "and never changes simulated-scan bytes",
     )
     scan.add_argument(
         "--per-host-gap",

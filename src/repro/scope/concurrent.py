@@ -24,16 +24,16 @@ Two facts make this safe and simple:
 Scheduler model (the "baton")
 -----------------------------
 
-Probe code is synchronous, so each in-flight session runs on its own
-thread — but exactly **one** thread runs at a time: a baton is handed
-off at backend wait points, which is what makes this a single logical
-event loop rather than a thread pool.  Each lane ``i`` is admitted at
-global virtual time ``offset_i`` (the global clock when a slot freed)
-and its global position is ``offset_i + sim_i.now``.  When a lane
-reaches a wait, :class:`InterleavedBackend` computes the global time of
-its next step (next simulation event, or the wait deadline) and parks
-if — and only if — some other lane wakes earlier: **global virtual time
-only advances when every lane with an earlier wake-up has run**.  The
+Probe code is synchronous, so a mid-scan session lives on an OS thread
+— but exactly **one** thread runs at a time: a baton is handed off at
+backend wait points, which is what makes this a single logical event
+loop rather than a thread pool.  Each lane ``i`` is admitted at global
+virtual time ``offset_i`` (the global clock when a slot freed) and its
+global position is ``offset_i + sim_i.now``.  When a lane reaches a
+wait, :class:`InterleavedBackend` computes the global time of its next
+step (next simulation event, or the wait deadline) and parks if — and
+only if — some other lane wakes earlier: **global virtual time only
+advances when every lane with an earlier wake-up has run**.  The
 deterministic policy always grants the lane with the minimal
 ``(wake_time, admission_index)``; because ties are broken by admission
 index, the schedule (and thus the completion order) is a pure function
@@ -47,6 +47,40 @@ is actually earlier — otherwise it keeps running inline.  With similar
 per-site costs a lane processes many events per handoff and the
 scheduling overhead stays a few percent of the scan itself.
 
+Scaling to 16k lanes (ISSUE 9)
+------------------------------
+
+Two costs used to bound the usable width at ~1k:
+
+* **O(active) grant arithmetic.**  Picking the next lane and computing
+  its run horizon were linear scans over every in-flight lane — two
+  full passes per handoff, ~130M lane visits for one 16k-wide sweep.
+  The deterministic policy is now an indexed min-heap keyed on
+  ``(position, index)`` with lazy invalidation (:class:`_HeapPolicy`):
+  ``pick`` is the heap top, the horizon is the second-best entry, both
+  O(log n) amortised.  The PR 8 linear arithmetic is retained verbatim
+  as :class:`_LinearPolicy` (the ``huffman_ref`` idiom) and the test
+  battery asserts decision-for-decision equality between the two.
+
+* **One OS thread per admitted lane.**  A mid-scan lane's continuation
+  is its thread stack — that cannot be recycled without native stack
+  switching.  But a lane that has not been *granted* yet has a trivial
+  continuation ("start the scan"), and its universe does not exist yet
+  either.  The scheduler therefore gates lane *starts* on a bounded
+  recycling pool of runner threads (:class:`_LanePool`, default
+  :data:`LANE_POOL_SIZE`): admitted lanes queue as lightweight
+  ``_Lane`` records, at most ``pool`` of them are ever mid-scan, and a
+  runner that finishes a site picks up the next fresh lane instead of
+  dying — resident stacks *and* live universes drop from O(width) to
+  O(pool), and thread churn from O(sites) to O(pool).  Gating cannot
+  change a single byte: universes are private, a lane's position
+  trajectory (``offset + local event times``) is independent of when
+  it executes, and admission offsets — the only cross-lane coupling —
+  are still assigned by the same global-clock rule.  With
+  ``pool >= width`` the grant sequence is exactly PR 8's; with a
+  smaller pool the schedule is still a pure function of the task list,
+  just with starts deferred until a runner frees.
+
 Composition: :mod:`repro.scope.parallel` embeds this scheduler both in
 its serial path and inside each worker process, so ``--workers W
 --concurrency C`` keeps ``W x C`` sessions in flight while the parent
@@ -56,12 +90,17 @@ identical to a serial run.
 
 from __future__ import annotations
 
+import heapq
+import os
+import queue
 import threading
 import time
+import warnings
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from random import Random
+from time import perf_counter
 
 from repro.net.backend import SimulatedBackend
 from repro.scope.report import SiteReport
@@ -73,6 +112,28 @@ _INFINITY = float("inf")
 #: engine's callback nesting), and ~1k in-flight lanes at the default
 #: 8 MiB would reserve gigabytes of address space for nothing.
 LANE_STACK_BYTES = 1 << 20
+
+#: Default size of the lane-runner recycling pool: how many lanes may
+#: be mid-scan (thread + universe resident) at once.  Admitted lanes
+#: beyond the pool wait as queue records until a runner frees.  Env
+#: knob ``H2SCOPE_LANE_POOL``: an integer overrides the size, ``0``
+#: disables pooling entirely (one thread per lane, the PR 8 layout —
+#: what the benchmark's RSS comparison measures against).
+LANE_POOL_SIZE = 64
+
+#: Env knob overriding (or with ``0``, disabling) the lane pool.
+LANE_POOL_ENV = "H2SCOPE_LANE_POOL"
+
+#: Hard ceiling on ``--concurrency``.  Beyond 16k lanes per worker the
+#: admission window stops buying modeled makespan on any realistic
+#: population (the longest site dominates) while per-lane bookkeeping
+#: keeps growing; requests above it are clamped with a warning.
+MAX_CONCURRENCY = 16384
+
+#: Seconds a lane/runner thread gets to exit after finishing or being
+#: aborted before the scheduler declares it leaked and raises
+#: :class:`LaneLeakError`.  Module-level so tests can shrink it.
+LANE_JOIN_TIMEOUT = 10.0
 
 #: Hard ceiling on events processed inside one ``run_until`` /
 #: ``sleep_until`` slice — the same runaway guard ``Simulation.run``
@@ -87,6 +148,17 @@ class SchedulerAbort(BaseException):
     Deliberately a ``BaseException``: the probe layer's "a scan survives
     anything" handlers catch ``Exception``, and an abort must tear the
     lane down, not become an error-bearing report.
+    """
+
+
+class LaneLeakError(RuntimeError):
+    """A lane or runner thread outlived the scheduler's join deadline.
+
+    PR 8 silently ignored a ``join`` timeout, which would have left a
+    wedged lane thread running (and its universe resident) behind a
+    "completed" campaign.  The scheduler now names the leak instead of
+    shrugging: this error lists the threads that refused to exit so the
+    wedge is attributable rather than a slow memory mystery.
     """
 
 
@@ -107,11 +179,61 @@ class ConcurrencyMetrics:
     completed: int = 0
     #: Most lanes simultaneously in flight (never above ``concurrency``).
     high_water: int = 0
+    #: Most lanes simultaneously *mid-scan* — thread + universe resident.
+    #: Bounded by the lane pool size, not the admission width.
+    resident_high_water: int = 0
+    #: OS threads created over the scheduler's lifetime.  With the
+    #: recycling pool this is O(pool); thread-per-lane mode pays one
+    #: per admitted lane.
+    threads_spawned: int = 0
     #: Full park/resume baton handoffs (the slice optimisation keeps
     #: this far below the event count).
     handoffs: int = 0
     #: Global virtual time at which the last lane completed.
     virtual_makespan: float = 0.0
+
+
+@dataclass
+class HandoffProfile:
+    """Per-phase cost accounting for the scheduler handoff path.
+
+    Enabled only when explicitly passed to the scheduler (the hot loop
+    takes a single ``is not None`` branch otherwise), this splits each
+    grant into the phases ``tools/profile_scan.py --concurrency``
+    renders, so a future scheduler regression is attributable to pick
+    arithmetic vs. horizon arithmetic vs. thread handoff latency.
+    """
+
+    grants: int = 0
+    #: Seconds choosing the next lane (heap top / linear scan).
+    pick_s: float = 0.0
+    #: Seconds deriving the granted lane's run horizon.
+    horizon_s: float = 0.0
+    #: Seconds the scheduler thread spent blocked on the baton.
+    baton_wait_s: float = 0.0
+    #: Seconds between a resume grant and the lane thread running.
+    resume_s: float = 0.0
+    resumes: int = 0
+    _grant_stamp: float = 0.0
+
+    def rows(self) -> list[dict]:
+        """Per-handoff averages, in microseconds, table-ready."""
+        grants = max(1, self.grants)
+        resumes = max(1, self.resumes)
+        return [
+            {"phase": "grant pick", "count": self.grants,
+             "total_s": round(self.pick_s, 4),
+             "avg_us": round(1e6 * self.pick_s / grants, 2)},
+            {"phase": "horizon", "count": self.grants,
+             "total_s": round(self.horizon_s, 4),
+             "avg_us": round(1e6 * self.horizon_s / grants, 2)},
+            {"phase": "baton wait", "count": self.grants,
+             "total_s": round(self.baton_wait_s, 4),
+             "avg_us": round(1e6 * self.baton_wait_s / grants, 2)},
+            {"phase": "lane resume", "count": self.resumes,
+             "total_s": round(self.resume_s, 4),
+             "avg_us": round(1e6 * self.resume_s / resumes, 2)},
+        ]
 
 
 class _Lane:
@@ -126,11 +248,14 @@ class _Lane:
         "horizon_index",
         "resume",
         "thread",
+        "started",
         "finished",
         "report",
         "failure",
         "aborted",
         "handoffs",
+        "heap_entry",
+        "profile",
         "_baton",
     )
 
@@ -145,11 +270,19 @@ class _Lane:
         self.horizon_index = -1
         self.resume = threading.Event()
         self.thread: threading.Thread | None = None
+        #: True once the lane has been granted for the first time and a
+        #: runner is hosting its scan.  A lane that never started holds
+        #: no thread and no universe — only this record.
+        self.started = False
         self.finished = False
         self.report: SiteReport | None = None
         self.failure: BaseException | None = None
         self.aborted = False
         self.handoffs = 0
+        #: The policy's current heap entry for this lane; identity is
+        #: the validity token for lazy invalidation.
+        self.heap_entry: tuple | None = None
+        self.profile: HandoffProfile | None = None
         self._baton = baton
 
     # Called by InterleavedBackend before every step that would move
@@ -175,6 +308,10 @@ class _Lane:
         self.resume.clear()
         self._baton.set()  # hand control back to the scheduler…
         self.resume.wait()  # …and sleep until granted again
+        profile = self.profile
+        if profile is not None:
+            profile.resume_s += perf_counter() - profile._grant_stamp
+            profile.resumes += 1
         if self.aborted:
             raise SchedulerAbort
 
@@ -193,6 +330,13 @@ class InterleavedBackend(SimulatedBackend):
     documented backward-clock oddity by delegating the final clock move
     to it.  The only addition is a :meth:`_Lane.advance` call before
     each step, which may suspend the thread — invisible to the scan.
+
+    The event loop here is the scheduler's innermost hot path (one
+    iteration per simulated packet), so it uses the paired
+    ``Simulation.next_event_time`` + ``Simulation.fire_head`` calls:
+    the peek already skimmed cancelled entries off the heap top, and
+    ``fire_head`` pops and runs that exact head without re-scanning —
+    one heap access per event instead of two.
     """
 
     def __init__(self, network, lane: _Lane):
@@ -215,7 +359,7 @@ class InterleavedBackend(SimulatedBackend):
                 sim.run(until=deadline)
                 return predicate()
             lane.advance(offset + peek)
-            sim.step()
+            sim.fire_head()
             if predicate():
                 return True
         raise RuntimeError(f"simulation exceeded {_MAX_SLICE_EVENTS} events")
@@ -229,7 +373,7 @@ class InterleavedBackend(SimulatedBackend):
             if peek is None or peek > when:
                 break
             lane.advance(offset + peek)
-            sim.step()
+            sim.fire_head()
         else:  # pragma: no cover - runaway universe
             raise RuntimeError(f"simulation exceeded {_MAX_SLICE_EVENTS} events")
         if when > sim.now:
@@ -249,36 +393,204 @@ class InterleavedBackend(SimulatedBackend):
 _HORIZON_QUANTUM = 0.5
 
 
-@dataclass
-class _Policy:
-    """Grant policy: which parked lane runs next, and for how long."""
+class _LinearPolicy:
+    """PR 8's grant arithmetic, verbatim: two O(n) scans per handoff.
 
-    #: None = deterministic min-(wake, index); a Random = fuzz mode.
-    rng: Random | None = None
-    quantum: float = _HORIZON_QUANTUM
+    Retained as the executable reference the heap policy is proved
+    against (the ``huffman_ref`` idiom): ``peek`` is a full min-scan
+    over the started lanes, ``best_other`` a second scan excluding the
+    granted lane.  Selectable via ``grant_policy="linear"`` so whole
+    campaigns can be run decision-for-decision against the heap.
+    """
 
-    def pick(self, active: list[_Lane]) -> _Lane:
-        if self.rng is not None:
-            return active[self.rng.randrange(len(active))]
-        return min(active, key=lambda lane: (lane.position, lane.index))
+    __slots__ = ("lanes",)
 
-    def set_horizon(self, lane: _Lane, active: list[_Lane]) -> None:
-        if self.rng is not None:
-            # Fuzz mode: one event step per grant — the next advance()
-            # always parks, maximising interleaving randomness.
-            lane.horizon_g = -_INFINITY
-            lane.horizon_index = -1
-            return
+    def __init__(self) -> None:
+        self.lanes: list[_Lane] = []
+
+    def add(self, lane: _Lane) -> None:
+        self.lanes.append(lane)
+
+    def remove(self, lane: _Lane) -> None:
+        self.lanes.remove(lane)
+
+    def reposition(self, lane: _Lane) -> None:
+        pass  # the scan always reads live positions
+
+    def peek(self) -> _Lane | None:
+        """The started lane with minimal ``(position, index)``."""
+        if not self.lanes:
+            return None
+        return min(self.lanes, key=lambda lane: (lane.position, lane.index))
+
+    def best_other(self, granted: _Lane) -> tuple[float, int]:
+        """Minimal ``(position, index)`` over started lanes != granted."""
         best_g, best_index = _INFINITY, -1
-        for other in active:
-            if other is lane:
+        for other in self.lanes:
+            if other is granted:
                 continue
             if other.position < best_g or (
                 other.position == best_g and other.index < best_index
             ):
                 best_g, best_index = other.position, other.index
-        lane.horizon_g = best_g + self.quantum if best_g < _INFINITY else best_g
-        lane.horizon_index = best_index
+        return best_g, best_index
+
+
+class _HeapPolicy:
+    """Indexed min-heap over started lanes, lazily invalidated.
+
+    Entries are ``(position, index, lane)`` tuples; ``lane.heap_entry``
+    holds the lane's *current* entry and is the validity token — a
+    reposition pushes a fresh entry and orphans the old one, which is
+    discarded when it surfaces at the top.  Admission indexes are
+    unique, so entries totally order even at tied or infinite
+    positions and the lane object itself is never compared.
+
+    ``peek`` skims stale entries then reads the top; ``best_other``
+    needs the best entry *excluding* the granted lane, which is found
+    by popping the granted lane's (single) valid entry aside, reading
+    the next fresh top, and pushing it back — O(log n) amortised, and
+    every stale entry is paid for exactly once across the run.
+    """
+
+    __slots__ = ("_heap", "_size")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, _Lane]] = []
+        self._size = 0  # live entries, for the compaction bound
+
+    def add(self, lane: _Lane) -> None:
+        entry = (lane.position, lane.index, lane)
+        lane.heap_entry = entry
+        heapq.heappush(self._heap, entry)
+        self._size += 1
+
+    def remove(self, lane: _Lane) -> None:
+        lane.heap_entry = None  # the orphan is dropped when it surfaces
+        self._size -= 1
+
+    def reposition(self, lane: _Lane) -> None:
+        entry = (lane.position, lane.index, lane)
+        lane.heap_entry = entry
+        heapq.heappush(self._heap, entry)
+
+    def _skim(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2].heap_entry is not heap[0]:
+            heapq.heappop(heap)
+
+    def peek(self) -> _Lane | None:
+        self._skim()
+        return self._heap[0][2] if self._heap else None
+
+    def best_other(self, granted: _Lane) -> tuple[float, int]:
+        heap = self._heap
+        aside = None
+        result = (_INFINITY, -1)
+        while heap:
+            entry = heap[0]
+            if entry[2].heap_entry is not entry:
+                heapq.heappop(heap)  # stale: gone for good
+                continue
+            if entry[2] is granted:  # its single valid entry
+                aside = heapq.heappop(heap)
+                continue
+            # A best-other parked at +inf is indistinguishable from "no
+            # other lane" in the linear arithmetic (its strict compares
+            # never displace the (inf, -1) sentinel); reproduce that
+            # exactly so the policies stay decision-identical.
+            if entry[0] < _INFINITY:
+                result = (entry[0], entry[1])
+            break
+        if aside is not None:
+            heapq.heappush(heap, aside)
+        return result
+
+
+def _spawn_lane_thread(target, name: str, *args) -> threading.Thread:
+    """Start a daemon thread with the small lane stack size."""
+    thread = threading.Thread(target=target, args=args, name=name, daemon=True)
+    try:
+        previous = threading.stack_size(LANE_STACK_BYTES)
+    except (ValueError, RuntimeError):  # pragma: no cover - platform
+        previous = None
+    try:
+        thread.start()
+    finally:
+        if previous is not None:
+            threading.stack_size(previous)
+    return thread
+
+
+class _LanePool:
+    """Bounded recycling pool of reusable lane-runner threads.
+
+    A runner picks up a fresh lane's continuation at grant time, hosts
+    the scan through every park/resume on its own stack until the site
+    finishes, then returns to the queue for the next lane.  The
+    scheduler's slot gate guarantees at most ``size`` lanes are ever
+    mid-scan, so resident stacks and universes are O(size) while the
+    admission window is O(width) lightweight records — and a
+    million-site campaign creates ``size`` threads, not a million.
+    """
+
+    __slots__ = ("size", "_main", "_inbox", "threads")
+
+    def __init__(self, size: int, main: Callable[[_Lane], None]) -> None:
+        self.size = size
+        self._main = main
+        self._inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self.threads: list[threading.Thread] = []
+
+    def ensure_threads(self, busy: int) -> None:
+        """Spawn runners lazily: just enough for ``busy`` hosted lanes."""
+        while len(self.threads) < min(busy, self.size):
+            self.threads.append(
+                _spawn_lane_thread(
+                    self._run, f"h2scope-lane-runner-{len(self.threads)}"
+                )
+            )
+
+    def dispatch(self, lane: _Lane) -> None:
+        self._inbox.put(lane)
+
+    def _run(self) -> None:
+        while True:
+            lane = self._inbox.get()
+            if lane is None:
+                return
+            self._main(lane)
+
+    def shutdown(self, deadline: float) -> list[threading.Thread]:
+        """Stop all runners; return the ones alive past ``deadline``."""
+        for _ in self.threads:
+            self._inbox.put(None)
+        leaked = []
+        for thread in self.threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                leaked.append(thread)
+        return leaked
+
+
+def _resolve_pool_size(explicit: int | None) -> int:
+    """Pool size from the argument, else the env knob, else the default.
+
+    Returns 0 for "pooling disabled" (one thread per lane).
+    """
+    if explicit is not None:
+        return max(0, int(explicit))
+    env = os.environ.get(LANE_POOL_ENV)
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {LANE_POOL_ENV}={env!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return LANE_POOL_SIZE
 
 
 class InterleavedScheduler:
@@ -289,7 +601,8 @@ class InterleavedScheduler:
     deterministic) completion order.  Teardown is exception-safe: on
     ``GeneratorExit`` / ``KeyboardInterrupt`` every lane is aborted and
     joined, so ``run_campaign``'s SIGINT path flushes its journal with
-    no lane thread left running.
+    no lane thread left running — and a lane that *refuses* to die is
+    reported as a :class:`LaneLeakError` instead of silently leaked.
     """
 
     def __init__(
@@ -301,16 +614,42 @@ class InterleavedScheduler:
         concurrency: int,
         policy_seed: int | None = None,
         metrics: ConcurrencyMetrics | None = None,
+        grant_policy: str = "heap",
+        lane_pool_size: int | None = None,
+        profile: HandoffProfile | None = None,
     ):
         self.sites = sites
         self.tasks = list(tasks)
         self.options = options
-        self.concurrency = max(1, int(concurrency))
+        concurrency = max(1, int(concurrency))
+        if concurrency > MAX_CONCURRENCY:
+            warnings.warn(
+                "--concurrency exceeds the 16384-lane ceiling; clamping "
+                "(wider admission windows stop buying modeled makespan)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            concurrency = MAX_CONCURRENCY
+        self.concurrency = concurrency
         self.metrics = metrics if metrics is not None else ConcurrencyMetrics()
         self.metrics.concurrency = self.concurrency
-        self._policy = _Policy(
-            rng=Random(policy_seed) if policy_seed is not None else None
+        self._rng = Random(policy_seed) if policy_seed is not None else None
+        if grant_policy == "heap":
+            self._policy = _HeapPolicy()
+        elif grant_policy == "linear":
+            self._policy = _LinearPolicy()
+        else:
+            raise ValueError(f"unknown grant policy {grant_policy!r}")
+        #: The fuzz policy parks on every advance and needs every lane
+        #: resumable at any instant, so it keeps one thread per lane.
+        pool_size = 0 if self._rng is not None else _resolve_pool_size(
+            lane_pool_size
         )
+        self._pool = (
+            _LanePool(pool_size, self._lane_main) if pool_size > 0 else None
+        )
+        self.profile = profile
+        self._quantum = _HORIZON_QUANTUM
         self._baton = threading.Event()
         self._next_index = 0
 
@@ -354,81 +693,249 @@ class InterleavedScheduler:
 
     def _admit(self, task, global_now: float) -> _Lane:
         lane = _Lane(self._next_index, task, global_now, self._baton)
+        lane.profile = self.profile
         self._next_index += 1
         self.metrics.admitted += 1
         return lane
 
-    def _grant(self, lane: _Lane) -> None:
-        if lane.thread is None:
-            lane.thread = threading.Thread(
-                target=self._lane_main,
-                args=(lane,),
-                name=f"h2scope-lane-{lane.index}",
-                daemon=True,
-            )
-            try:
-                previous = threading.stack_size(LANE_STACK_BYTES)
-            except (ValueError, RuntimeError):  # pragma: no cover - platform
-                previous = None
-            try:
-                lane.thread.start()
-            finally:
-                if previous is not None:
-                    threading.stack_size(previous)
+    def _start_lane(self, lane: _Lane, busy: int) -> None:
+        """Hand a never-granted lane to a runner (or its own thread)."""
+        lane.started = True
+        pool = self._pool
+        if pool is not None:
+            pool.ensure_threads(busy)
+            self.metrics.threads_spawned = len(pool.threads)
+            pool.dispatch(lane)
         else:
-            lane.resume.set()
+            lane.thread = _spawn_lane_thread(
+                self._lane_main, f"h2scope-lane-{lane.index}", lane
+            )
+            self.metrics.threads_spawned += 1
 
-    def _abort(self, active: list[_Lane]) -> None:
-        lanes = [lane for lane in active if lane.thread is not None]
+    def _join_finished(self, lane: _Lane) -> None:
+        """Reap a finished lane's private thread (thread-per-lane mode).
+
+        PR 8 ignored a join timeout here — a wedged thread silently
+        outlived its "completed" lane.  Now it is a named failure.
+        """
+        thread = lane.thread
+        if thread is None:
+            return
+        thread.join(timeout=LANE_JOIN_TIMEOUT)
+        if thread.is_alive():
+            raise LaneLeakError(
+                f"lane {lane.index} ({lane.task.domain}) finished but its "
+                f"thread {thread.name!r} refused to exit within "
+                f"{LANE_JOIN_TIMEOUT}s"
+            )
+
+    def _teardown(self, lanes: Iterable[_Lane]) -> None:
+        """Abort every lane, reclaim every thread, and name any leak.
+
+        Repeated ``resume.set()`` closes the clear()/set() race with a
+        lane that is parking concurrently with the abort.  Fresh lanes
+        never started, so they hold no thread and just get dropped.
+        """
+        lanes = list(lanes)
         for lane in lanes:
             lane.aborted = True
-        alive = [lane for lane in lanes if lane.thread.is_alive()]
-        deadline = time.monotonic() + 10.0
-        while alive and time.monotonic() < deadline:
-            for lane in alive:
-                # Repeated set() closes the clear()/set() race with a
-                # lane that is parking concurrently with the abort.
+        deadline = time.monotonic() + LANE_JOIN_TIMEOUT
+        pending = [
+            lane for lane in lanes if lane.started and not lane.finished
+        ]
+        while pending and time.monotonic() < deadline:
+            for lane in pending:
                 lane.resume.set()
-            for lane in alive:
-                lane.thread.join(timeout=0.05)
-            alive = [lane for lane in alive if lane.thread.is_alive()]
+            time.sleep(0.002)
+            pending = [lane for lane in pending if not lane.finished]
+        leaked: list[threading.Thread] = []
+        if self._pool is not None:
+            leaked = self._pool.shutdown(deadline)
+        else:
+            for lane in lanes:
+                thread = lane.thread
+                if thread is None:
+                    continue
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+                if thread.is_alive():
+                    leaked.append(thread)
+        if pending or leaked:
+            stuck = ", ".join(
+                f"lane {lane.index} ({lane.task.domain})" for lane in pending
+            ) or "no lane still marked unfinished"
+            names = ", ".join(repr(t.name) for t in leaked) or "none"
+            raise LaneLeakError(
+                f"scheduler teardown leaked threads after "
+                f"{LANE_JOIN_TIMEOUT}s: {stuck}; alive threads: {names}"
+            )
 
     def run(self) -> Iterator:
         from repro.scope.parallel import SiteResult
 
+        if self._rng is not None:
+            yield from self._run_fuzz()
+            return
+        backlog = deque(self.tasks)
+        fresh: deque[_Lane] = deque()
+        in_flight: set[_Lane] = set()
+        policy = self._policy
+        pool_cap = self._pool.size if self._pool is not None else None
+        metrics = self.metrics
+        baton = self._baton
+        profile = self.profile
+        quantum = self._quantum
+        concurrency = self.concurrency
+        global_now = 0.0
+        # Hot-loop counters live in locals (attribute stores per handoff
+        # were measurable at width 16k); flushed on completion/teardown.
+        started = completed = handoffs = 0
+        high_water = resident_high = 0
+        makespan = 0.0
+        try:
+            while backlog or in_flight:
+                while backlog and len(in_flight) < concurrency:
+                    lane = self._admit(backlog.popleft(), global_now)
+                    fresh.append(lane)
+                    in_flight.add(lane)
+                if len(in_flight) > high_water:
+                    high_water = len(in_flight)
+                # -- pick: min (position, index) over runnable lanes.
+                # Fresh lanes are runnable only while a pool slot is
+                # free; they are admission-ordered, and offsets are
+                # monotone, so the deque head is their best entry.
+                if profile is not None:
+                    stamp = perf_counter()
+                lane = policy.peek()
+                if fresh and (pool_cap is None or started < pool_cap):
+                    head = fresh[0]
+                    if lane is None or (head.position, head.index) < (
+                        lane.position,
+                        lane.index,
+                    ):
+                        lane = head
+                if profile is not None:
+                    profile.pick_s += perf_counter() - stamp
+                    profile.grants += 1
+                first_grant = not lane.started
+                if first_grant:
+                    fresh.popleft()
+                    policy.add(lane)
+                    started += 1
+                    if started > resident_high:
+                        resident_high = started
+                if lane.position > global_now:
+                    global_now = lane.position
+                # -- horizon: earliest other runnable lane + quantum.
+                if profile is not None:
+                    stamp = perf_counter()
+                best_g, best_index = policy.best_other(lane)
+                if fresh and (pool_cap is None or started < pool_cap):
+                    head = fresh[0]
+                    if head.position < best_g or (
+                        head.position == best_g and head.index < best_index
+                    ):
+                        best_g, best_index = head.position, head.index
+                lane.horizon_g = (
+                    best_g + quantum if best_g < _INFINITY else best_g
+                )
+                lane.horizon_index = best_index
+                if profile is not None:
+                    profile.horizon_s += perf_counter() - stamp
+                baton.clear()
+                if first_grant:
+                    self._start_lane(lane, started)
+                else:
+                    if profile is not None:
+                        profile._grant_stamp = perf_counter()
+                    lane.resume.set()
+                # Exactly one lane runs between grants, so the baton can
+                # only be set by ``lane`` parking or finishing.
+                if profile is not None:
+                    stamp = perf_counter()
+                    baton.wait()
+                    profile.baton_wait_s += perf_counter() - stamp
+                else:
+                    baton.wait()
+                handoffs += 1
+                if lane.finished:
+                    policy.remove(lane)
+                    in_flight.discard(lane)
+                    started -= 1
+                    completed += 1
+                    if lane.position > global_now:
+                        global_now = lane.position
+                    if lane.position > makespan:
+                        makespan = lane.position
+                    if self._pool is None:
+                        self._join_finished(lane)
+                    if lane.failure is not None:
+                        raise lane.failure
+                    metrics.completed = completed
+                    metrics.handoffs = handoffs
+                    metrics.high_water = high_water
+                    metrics.resident_high_water = resident_high
+                    metrics.virtual_makespan = makespan
+                    yield SiteResult(lane.task, lane.report)
+                else:
+                    policy.reposition(lane)
+        finally:
+            metrics.completed = completed
+            metrics.handoffs = handoffs
+            metrics.high_water = high_water
+            metrics.resident_high_water = resident_high
+            metrics.virtual_makespan = makespan
+            self._teardown(in_flight)
+
+    def _run_fuzz(self) -> Iterator:
+        """Seeded-random scheduling: one event step per grant, a thread
+        per lane, uniform pick over every in-flight lane — maximal
+        interleaving randomness for the byte-stability battery."""
+        from repro.scope.parallel import SiteResult
+
+        rng = self._rng
         backlog = deque(self.tasks)
         active: list[_Lane] = []
-        global_now = 0.0
         metrics = self.metrics
+        baton = self._baton
+        global_now = 0.0
         try:
             while backlog or active:
                 while backlog and len(active) < self.concurrency:
-                    active.append(self._admit(backlog.popleft(), global_now))
+                    lane = self._admit(backlog.popleft(), global_now)
+                    active.append(lane)
                 if len(active) > metrics.high_water:
                     metrics.high_water = len(active)
-                lane = self._policy.pick(active)
-                global_now = max(global_now, lane.position)
-                self._policy.set_horizon(lane, active)
-                self._baton.clear()
-                self._grant(lane)
-                # Exactly one lane runs between grants, so the baton can
-                # only be set by ``lane`` parking or finishing.
-                self._baton.wait()
-                metrics.handoffs = (
-                    metrics.handoffs + 1
-                )  # one resume per grant
+                lane = active[rng.randrange(len(active))]
+                if lane.position > global_now:
+                    global_now = lane.position
+                # Park at every advance: the next step always yields.
+                lane.horizon_g = -_INFINITY
+                lane.horizon_index = -1
+                baton.clear()
+                if not lane.started:
+                    started_now = 1 + sum(
+                        1 for entry in active if entry.started
+                    )
+                    if started_now > metrics.resident_high_water:
+                        metrics.resident_high_water = started_now
+                    self._start_lane(lane, started_now)
+                else:
+                    lane.resume.set()
+                baton.wait()
+                metrics.handoffs += 1
                 if lane.finished:
                     active.remove(lane)
-                    global_now = max(global_now, lane.position)
                     metrics.completed += 1
+                    if lane.position > global_now:
+                        global_now = lane.position
                     if lane.position > metrics.virtual_makespan:
                         metrics.virtual_makespan = lane.position
-                    lane.thread.join(timeout=10.0)
+                    self._join_finished(lane)
                     if lane.failure is not None:
                         raise lane.failure
                     yield SiteResult(lane.task, lane.report)
         finally:
-            self._abort(active)
+            self._teardown(active)
 
 
 def scan_interleaved(
@@ -439,15 +946,26 @@ def scan_interleaved(
     concurrency: int | None = None,
     policy_seed: int | None = None,
     metrics: ConcurrencyMetrics | None = None,
+    grant_policy: str = "heap",
+    lane_pool_size: int | None = None,
+    profile: HandoffProfile | None = None,
 ) -> Iterator:
     """Scan ``tasks`` with up to ``concurrency`` interleaved sessions.
 
     Yields :class:`~repro.scope.parallel.SiteResult` in completion
     order (deterministic for the default policy; seeded-random for the
     fuzz battery's ``policy_seed``).  ``concurrency`` defaults to
-    ``options.concurrency``.  With one task or ``concurrency <= 1`` the
-    scheduler machinery is bypassed entirely — the plain serial loop is
-    both faster and the baseline the determinism battery diffs against.
+    ``options.concurrency`` and is clamped to :data:`MAX_CONCURRENCY`
+    (16384 lanes).  With one task or ``concurrency <= 1`` the scheduler
+    machinery is bypassed entirely — the plain serial loop is both
+    faster and the baseline the determinism battery diffs against.
+
+    ``grant_policy`` selects the deterministic grant arithmetic:
+    ``"heap"`` (O(log n), default) or ``"linear"`` (the retained PR 8
+    reference) — the two are decision-identical, which the test battery
+    proves.  ``lane_pool_size`` bounds how many lanes are mid-scan at
+    once (``None`` = the :data:`LANE_POOL_ENV` knob or
+    :data:`LANE_POOL_SIZE`; ``0`` = one thread per lane).
     """
     from repro.scope.parallel import SiteResult, _scan_one
 
@@ -460,6 +978,7 @@ def scan_interleaved(
             metrics.concurrency = concurrency
             metrics.admitted = metrics.completed = len(tasks)
             metrics.high_water = min(1, len(tasks))
+            metrics.resident_high_water = min(1, len(tasks))
         makespan = 0.0
         for task in tasks:
             result = SiteResult(
@@ -477,6 +996,9 @@ def scan_interleaved(
         concurrency=concurrency,
         policy_seed=policy_seed,
         metrics=metrics,
+        grant_policy=grant_policy,
+        lane_pool_size=lane_pool_size,
+        profile=profile,
     )
     yield from scheduler.run()
 

@@ -104,6 +104,31 @@ def effective_workers(requested: int, *, warn: bool = True) -> int:
     return requested
 
 
+def effective_concurrency(requested: int, *, warn: bool = True) -> int:
+    """Clamp a requested lane width to the scheduler's 16384-lane ceiling.
+
+    The interleaved scheduler's admission window stops buying modeled
+    makespan beyond ~16k lanes (the longest site dominates) while
+    per-lane bookkeeping keeps growing, so a wider request is capped
+    with a :class:`RuntimeWarning` — the ``effective_workers`` idiom.
+    Results are unaffected either way: reports are byte-identical for
+    any lane width.
+    """
+    from repro.scope.concurrent import MAX_CONCURRENCY
+
+    requested = max(1, int(requested))
+    if requested > MAX_CONCURRENCY:
+        if warn:
+            warnings.warn(
+                f"--concurrency {requested} exceeds the {MAX_CONCURRENCY}-lane "
+                f"scheduler ceiling; capping to {MAX_CONCURRENCY}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return MAX_CONCURRENCY
+    return requested
+
+
 @dataclass(frozen=True)
 class SiteTask:
     """One unit of scan work: a position in the todo list.
@@ -282,7 +307,7 @@ class ParallelCampaignRunner:
             seed=seed,
             fault_plan=fault_plan,
             resilience=resilience,
-            concurrency=max(1, int(concurrency)),
+            concurrency=effective_concurrency(concurrency),
         )
         self.max_worker_crashes = max(1, int(max_worker_crashes))
         self.poll_interval = poll_interval

@@ -350,6 +350,9 @@ def scan_population(
     """Scan every site; ``workers`` > 1 shards across processes and
     ``concurrency`` > 1 keeps that many sessions in flight per process
     (:mod:`repro.scope.concurrent`), composing multiplicatively.
+    ``concurrency`` is clamped to the scheduler's 16384-lane ceiling;
+    within it, only ``LANE_POOL_SIZE`` lanes are ever mid-scan at once,
+    so memory stays O(pool) regardless of the admission width.
 
     Sites are independent simulations seeded by ``(seed + index)``, so
     neither ordering, sharding nor interleaving can affect results:
@@ -416,8 +419,10 @@ def run_campaign(
     ``workers`` > 1 shards the pending sites across that many scan
     processes (:mod:`repro.scope.parallel`) and ``concurrency`` > 1
     keeps that many sessions in flight inside each process
-    (:mod:`repro.scope.concurrent`), for ``workers x concurrency``
-    total in-flight sessions; this process stays the sole SQLite
+    (:mod:`repro.scope.concurrent`; clamped to 16384 lanes, of which at
+    most the lane pool is mid-scan at once), for ``workers x
+    concurrency`` total in-flight sessions; this process stays the sole
+    SQLite
     writer and journals completions in todo order, so the stored bytes
     are identical for any worker count, concurrency level, kill point
     and fault plan — and neither knob is part of the manifest, so a

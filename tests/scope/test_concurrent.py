@@ -1,11 +1,18 @@
-"""Determinism battery for single-loop interleaved scanning (ISSUE 8).
+"""Determinism battery for single-loop interleaved scanning (ISSUE 8/9).
 
-The contract this file enforces: up to ~1k probe sessions in flight on
+The contract this file enforces: up to 16k probe sessions in flight on
 one scheduler produce reports — and raw SQLite rows — byte-identical
 to the serial loop, at any concurrency level, under any interleaving
 policy (including ~1k seeded-random scheduling decisions per fuzz
 run), and across SIGINT/SIGKILL + resume.  Per-site universe isolation
 (seed + site_index) plus todo-order journaling make this provable.
+
+ISSUE 9 additions: the O(log n) heap grant policy is differentially
+pinned against the retained linear reference (random lane sets via
+hypothesis, plus whole campaigns decision-for-decision), the bounded
+lane-runner pool is proved to cap resident threads without moving a
+byte, and a lane thread that refuses to die is a diagnosed
+:class:`LaneLeakError`, not a silent leak.
 """
 
 import json
@@ -15,6 +22,7 @@ import socketserver
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -26,14 +34,19 @@ from repro.net.backend import SimulatedBackend, TransportBackend
 from repro.net.clock import Simulation
 from repro.net.transport import Network
 from repro.scope.campaign import CampaignInterrupted
+import repro.scope.concurrent as concurrent_module
 from repro.scope.concurrent import (
     ConcurrencyMetrics,
     InterleavedBackend,
+    InterleavedScheduler,
+    LaneLeakError,
     LoopDriver,
+    _HeapPolicy,
     _Lane,
+    _LinearPolicy,
     scan_interleaved,
 )
-from repro.scope.parallel import ScanOptions
+from repro.scope.parallel import ScanOptions, SiteTask
 from repro.scope.scanner import run_campaign
 from repro.scope.storage import ReportStore
 from tests.scope.test_campaign import KillAt, serialize_campaign
@@ -75,7 +88,7 @@ def scan_options(**overrides):
 class TestConcurrencyDeterminism:
     """Keystone: any --concurrency produces the serial bytes."""
 
-    @pytest.mark.parametrize("concurrency", [1, 8, 64, 512])
+    @pytest.mark.parametrize("concurrency", [1, 8, 64, 512, 4096])
     def test_campaign_byte_identical_to_serial(
         self, concurrency, chaos_sites, serial_baseline, tmp_path
     ):
@@ -294,6 +307,230 @@ class TestSchedulerFuzz:
             assert replay == orders[seed]
         # Every lane thread was joined: no leaks across ~40 schedulers.
         assert threading.active_count() <= threads_before + 1
+
+
+def _policy_lane(index, position):
+    """A bare lane record at ``position``, for driving policies directly."""
+    lane = _Lane(index, None, 0.0, threading.Event())
+    lane.position = position
+    return lane
+
+
+_POSITIONS = st.one_of(
+    st.floats(
+        min_value=0.0, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    # Deliberate ties and both infinities: the index tiebreak and the
+    # "no other lane" horizon sentinel must match decision-for-decision.
+    st.sampled_from([0.0, 1.0, 2.5, float("inf"), float("-inf")]),
+)
+
+
+class TestPolicyDifferential:
+    """The ISSUE 9 keystone: `_HeapPolicy` == `_LinearPolicy`, proved
+    decision-for-decision — on random lane sets via hypothesis, and on
+    whole campaigns (same schedule, same bytes, same handoff count)."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "reposition"]),
+                st.integers(min_value=0, max_value=63),
+                _POSITIONS,
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_heap_matches_linear_on_random_lane_sets(self, ops):
+        heap, linear = _HeapPolicy(), _LinearPolicy()
+        lanes: list[_Lane] = []
+        counter = 0
+        for op, choice, position in ops:
+            if op == "add" or not lanes:
+                lane = _policy_lane(counter, position)
+                counter += 1
+                lanes.append(lane)
+                heap.add(lane)
+                linear.add(lane)
+            elif op == "remove":
+                lane = lanes.pop(choice % len(lanes))
+                heap.remove(lane)
+                linear.remove(lane)
+            else:
+                lane = lanes[choice % len(lanes)]
+                lane.position = position
+                heap.reposition(lane)
+                linear.reposition(lane)
+            # Identity, not equality: the policies must name the same
+            # lane object, so position ties resolve identically.
+            assert heap.peek() is linear.peek()
+            for granted in lanes:
+                assert heap.best_other(granted) == linear.best_other(granted)
+
+    def test_whole_campaign_decision_identical(self, chaos_sites):
+        """grant_policy="linear" vs "heap" over 40 chaos sites: the
+        completion order, handoff count, makespan and every report byte
+        must coincide — the schedules are the same function."""
+        sites = chaos_sites[:40]
+        tasks = tasks_for(sites)
+        runs = {}
+        for policy in ("heap", "linear"):
+            metrics = ConcurrencyMetrics()
+            results = list(
+                scan_interleaved(
+                    sites, tasks, scan_options(), concurrency=16,
+                    grant_policy=policy, metrics=metrics,
+                )
+            )
+            runs[policy] = (
+                [result.task.position for result in results],
+                serialize_reports([result.report for result in results]),
+                metrics.handoffs,
+                metrics.virtual_makespan,
+            )
+        assert runs["heap"] == runs["linear"]
+
+
+class TestLanePool:
+    """The recycling pool caps resident threads at O(pool) without
+    moving a byte: reports match thread-per-lane mode exactly, while
+    thread metrics prove the bound held."""
+
+    def test_pool_bounds_threads_and_preserves_bytes(self, chaos_sites):
+        sites = chaos_sites[:40]
+        tasks = tasks_for(sites)
+        outcomes = {}
+        for pool_size in (0, 4):
+            metrics = ConcurrencyMetrics()
+            seen = {}
+            for result in scan_interleaved(
+                sites, tasks, scan_options(), concurrency=32,
+                lane_pool_size=pool_size, metrics=metrics,
+            ):
+                seen[result.task.position] = result.report
+            assert sorted(seen) == list(range(len(tasks)))
+            outcomes[pool_size] = (
+                serialize_reports([seen[p] for p in sorted(seen)]),
+                metrics,
+            )
+        assert outcomes[0][0] == outcomes[4][0]
+        pooled = outcomes[4][1]
+        unpooled = outcomes[0][1]
+        # Thread-per-lane pays one thread per admitted lane; the pool
+        # pays at most its size, and never hosts more than that at once.
+        assert unpooled.threads_spawned == unpooled.admitted == len(tasks)
+        assert pooled.threads_spawned <= 4
+        assert 0 < pooled.resident_high_water <= 4
+        # The admission window is still the full width: positions keep
+        # overlapping even though only 4 lanes are ever mid-scan.
+        assert pooled.high_water > pooled.resident_high_water
+
+    def test_env_knob_disables_pool(self, chaos_sites, monkeypatch):
+        monkeypatch.setenv(concurrent_module.LANE_POOL_ENV, "0")
+        sites = chaos_sites[:8]
+        tasks = tasks_for(sites)
+        metrics = ConcurrencyMetrics()
+        list(
+            scan_interleaved(
+                sites, tasks, scan_options(), concurrency=8, metrics=metrics
+            )
+        )
+        assert metrics.threads_spawned == len(tasks)
+
+    def test_concurrency_ceiling_clamped_with_warning(self, chaos_sites):
+        sites = chaos_sites[:4]
+        tasks = tasks_for(sites)
+        metrics = ConcurrencyMetrics()
+        with pytest.warns(RuntimeWarning, match="16384"):
+            scheduler = InterleavedScheduler(
+                sites, tasks, scan_options(),
+                concurrency=1 << 20, metrics=metrics,
+            )
+        assert scheduler.concurrency == 16384
+        list(scheduler.run())
+        assert metrics.completed == len(tasks)
+
+
+class TestLaneLeakDiagnostics:
+    """ISSUE 9 satellite: a lane thread that outlives the join deadline
+    must surface as a LaneLeakError naming the culprit — PR 8's silent
+    ``join(timeout=10.0)`` shrug is gone."""
+
+    @staticmethod
+    def _stubborn_scan_site(release, stubborn_domain):
+        """A scan_site stand-in whose ``stubborn_domain`` lane swallows
+        the abort and refuses to exit until ``release`` is set."""
+        from repro.scope.report import SiteReport as _SiteReport
+
+        def scan_site(site, *, include, seed, fault_plan, resilience,
+                      backend_factory=None):
+            backend = backend_factory(Network(Simulation(), seed=0))
+            if site.domain == stubborn_domain:
+                try:
+                    backend.sleep_until(1000.0)  # parks behind lane 1
+                except BaseException:
+                    release.wait(timeout=30.0)  # the refusal to die
+            return _SiteReport(domain=site.domain)
+
+        return scan_site
+
+    @pytest.mark.parametrize("pool_size", [0, 2])
+    def test_lane_that_refuses_to_die_is_diagnosed(
+        self, chaos_sites, monkeypatch, pool_size
+    ):
+        import repro.scope.scanner as scanner_module
+
+        sites = chaos_sites[:2]
+        tasks = tasks_for(sites)
+        release = threading.Event()
+        monkeypatch.setattr(
+            scanner_module, "scan_site",
+            self._stubborn_scan_site(release, sites[0].domain),
+        )
+        monkeypatch.setattr(concurrent_module, "LANE_JOIN_TIMEOUT", 0.3)
+        threads_before = threading.active_count()
+        gen = scan_interleaved(
+            sites, tasks, scan_options(), concurrency=2,
+            lane_pool_size=pool_size,
+        )
+        try:
+            # Lane 0 parks at virtual t=1000; lane 1 finishes first.
+            first = next(gen)
+            assert first.task.position == 1
+            with pytest.raises(LaneLeakError, match=sites[0].domain):
+                gen.close()
+        finally:
+            release.set()
+        for _ in range(500):  # let the released thread actually exit
+            if threading.active_count() <= threads_before:
+                break
+            time.sleep(0.01)
+        assert threading.active_count() <= threads_before
+
+    def test_join_finished_raises_on_wedged_thread(self, monkeypatch):
+        monkeypatch.setattr(concurrent_module, "LANE_JOIN_TIMEOUT", 0.2)
+        scheduler = InterleavedScheduler(
+            [], [], scan_options(), concurrency=1, lane_pool_size=0
+        )
+        lane = _Lane(
+            0, SiteTask(position=0, site_index=0, domain="stuck.test"),
+            0.0, threading.Event(),
+        )
+        release = threading.Event()
+        lane.thread = threading.Thread(
+            target=release.wait, args=(30.0,), daemon=True
+        )
+        lane.thread.start()
+        try:
+            with pytest.raises(LaneLeakError, match="stuck.test"):
+                scheduler._join_finished(lane)
+        finally:
+            release.set()
+        lane.thread.join(timeout=5.0)
+        assert not lane.thread.is_alive()
 
 
 def _free_lane():
@@ -575,6 +812,45 @@ class TestSharedLoopDelivery:
         finally:
             server.shutdown()
             server.server_close()
+
+
+@pytest.mark.skipif(
+    not os.environ.get("H2SCOPE_WIDE_SOAK"),
+    reason="wide-width soak (set H2SCOPE_WIDE_SOAK=1; weekly CI)",
+)
+class TestWideWidthSoak:
+    """Weekly, env-scaled: a population wide enough to actually fill a
+    4096-lane admission window (the per-push chaos battery's ~350 tasks
+    cannot), byte-diffed against the plain serial loop."""
+
+    def test_width_4096_byte_identical_to_serial(self):
+        from repro.population.generator import (
+            PopulationConfig,
+            make_population,
+        )
+
+        width = int(os.environ.get("H2SCOPE_WIDE_SOAK_WIDTH", "4096"))
+        sites = make_population(
+            PopulationConfig(n_sites=width + width // 8, seed=11)
+        )
+        tasks = tasks_for(sites)
+        options = ScanOptions(include=("negotiation",), seed=3)
+        serial = [
+            result.report
+            for result in scan_interleaved(sites, tasks, options)
+        ]
+        metrics = ConcurrencyMetrics()
+        wide = {}
+        for result in scan_interleaved(
+            sites, tasks, options, concurrency=width, metrics=metrics
+        ):
+            wide[result.task.position] = result.report
+        assert sorted(wide) == list(range(len(tasks)))
+        assert serialize_reports(
+            [wide[p] for p in sorted(wide)]
+        ) == serialize_reports(serial)
+        assert metrics.high_water > 1024, "the window never got wide"
+        assert metrics.resident_high_water <= 64
 
 
 @pytest.mark.skipif(
